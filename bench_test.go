@@ -1,0 +1,209 @@
+// Package xbiosip_test is the benchmark harness that regenerates every
+// table and figure of the paper's evaluation (run with
+// go test -bench=. -benchmem). Each benchmark executes the corresponding
+// experiment from internal/experiments and logs the regenerated artefact;
+// EXPERIMENTS.md records paper-vs-measured values.
+//
+// Benchmarks default to a reduced record set (one 6,000-sample synthetic
+// NSRDB-like record) so the whole suite completes in minutes; cmd/xbiosip
+// regenerates the same artefacts at the paper's full 20,000-sample scale.
+package xbiosip_test
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/xbiosip/xbiosip/internal/experiments"
+	"github.com/xbiosip/xbiosip/internal/pantompkins"
+)
+
+var (
+	setupOnce sync.Once
+	setup     *experiments.Setup
+	setupErr  error
+)
+
+// benchSetup shares one evaluation environment across benchmarks (building
+// reference outputs and the energy stimulus is itself nontrivial work).
+func benchSetup(b *testing.B) *experiments.Setup {
+	b.Helper()
+	setupOnce.Do(func() {
+		setup, setupErr = experiments.NewSetup(1, 6000)
+	})
+	if setupErr != nil {
+		b.Fatal(setupErr)
+	}
+	return setup
+}
+
+// BenchmarkTable1ElementaryLibrary regenerates Table 1 (synthesis results
+// of the elementary approximate adder and multiplier library).
+func BenchmarkTable1ElementaryLibrary(b *testing.B) {
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = experiments.Table1()
+	}
+	b.Log("\n" + out)
+}
+
+// BenchmarkFig1SensorNodeEnergy regenerates Fig 1 (sensing vs total energy
+// of five bio-signal monitoring sensor nodes).
+func BenchmarkFig1SensorNodeEnergy(b *testing.B) {
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = experiments.Fig1()
+	}
+	b.Log("\n" + out)
+}
+
+// BenchmarkFig2LPFResilience regenerates Fig 2 (error resilience of the
+// low-pass filter stage: area/power/delay/energy reductions, SSIM and peak
+// detection accuracy over approximated LSBs).
+func BenchmarkFig2LPFResilience(b *testing.B) {
+	s := benchSetup(b)
+	var out string
+	for i := 0; i < b.N; i++ {
+		rows, err := s.StageResilience(pantompkins.LPF)
+		if err != nil {
+			b.Fatal(err)
+		}
+		out = experiments.FormatResilience(pantompkins.LPF, rows)
+	}
+	b.Log("\n" + out)
+}
+
+// BenchmarkFig8StageResilience regenerates Fig 8(a)-(d): the error
+// resilience sweeps of the HPF, differentiator, squarer and MWI stages.
+func BenchmarkFig8StageResilience(b *testing.B) {
+	s := benchSetup(b)
+	stages := []pantompkins.Stage{pantompkins.HPF, pantompkins.DER, pantompkins.SQR, pantompkins.MWI}
+	for _, st := range stages {
+		b.Run(st.String(), func(b *testing.B) {
+			var out string
+			for i := 0; i < b.N; i++ {
+				rows, err := s.StageResilience(st)
+				if err != nil {
+					b.Fatal(err)
+				}
+				out = experiments.FormatResilience(st, rows)
+			}
+			b.Log("\n" + out)
+		})
+	}
+}
+
+// BenchmarkFig10OutputQuality regenerates Fig 10 (accurate vs approximate
+// output quality with 4 LSBs approximated at all five stages).
+func BenchmarkFig10OutputQuality(b *testing.B) {
+	s := benchSetup(b)
+	var out string
+	for i := 0; i < b.N; i++ {
+		r, err := s.UniformApproximation(4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		out = experiments.FormatUniform(r)
+	}
+	b.Log("\n" + out)
+}
+
+// BenchmarkTable2PreprocessingGrid regenerates Table 2 (PSNR and energy of
+// the LPF x HPF design grid, exhaustive 81 points plus the Algorithm 1
+// trace).
+func BenchmarkTable2PreprocessingGrid(b *testing.B) {
+	s := benchSetup(b)
+	var out string
+	for i := 0; i < b.N; i++ {
+		r, err := s.Table2(15)
+		if err != nil {
+			b.Fatal(err)
+		}
+		out = s.FormatTable2(r)
+	}
+	b.Log("\n" + out)
+}
+
+// BenchmarkFig11ExplorationTime regenerates Fig 11 (exploration time of
+// exhaustive / heuristic / Algorithm 1 over 1..5 stages).
+func BenchmarkFig11ExplorationTime(b *testing.B) {
+	s := benchSetup(b)
+	var out string
+	for i := 0; i < b.N; i++ {
+		rows, err := s.ExplorationTime()
+		if err != nil {
+			b.Fatal(err)
+		}
+		out = experiments.FormatFig11(rows)
+	}
+	b.Log("\n" + out)
+}
+
+// BenchmarkFig12EnergyQuality regenerates Fig 12 (peak detection accuracy
+// and energy reduction of configurations A1, A2 and B1-B14).
+func BenchmarkFig12EnergyQuality(b *testing.B) {
+	s := benchSetup(b)
+	var out string
+	for i := 0; i < b.N; i++ {
+		rows, err := s.Fig12()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var err2 error
+		out, err2 = s.FormatFig12(rows)
+		if err2 != nil {
+			b.Fatal(err2)
+		}
+	}
+	b.Log("\n" + out)
+}
+
+// BenchmarkFig13Misclassification regenerates Fig 13 (heartbeat
+// misclassification analysis of design B10).
+func BenchmarkFig13Misclassification(b *testing.B) {
+	s := benchSetup(b)
+	b10 := experiments.Fig12Configs[10] // B10
+	if b10.Name != "B10" {
+		b.Fatalf("config table changed: %s", b10.Name)
+	}
+	var out string
+	for i := 0; i < b.N; i++ {
+		r, err := s.Misclassification(b10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		out = experiments.FormatMisclassification(r)
+	}
+	b.Log("\n" + out)
+}
+
+// BenchmarkAblationEnergyAccounting compares the three energy-accounting
+// policies (raw module composition, const-prop P*D, activity-weighted) per
+// stage — the modelling ablation DESIGN.md §6 calls out.
+func BenchmarkAblationEnergyAccounting(b *testing.B) {
+	s := benchSetup(b)
+	var out string
+	for i := 0; i < b.N; i++ {
+		rows, err := s.EnergyAccountingAblation()
+		if err != nil {
+			b.Fatal(err)
+		}
+		out = experiments.FormatAblation(rows)
+	}
+	b.Log("\n" + out)
+}
+
+// BenchmarkNoiseRobustness sweeps EMG noise and compares accurate vs B9
+// detection accuracy (extension experiment; the approximation must not
+// erode the algorithm's noise margin).
+func BenchmarkNoiseRobustness(b *testing.B) {
+	s := benchSetup(b)
+	var out string
+	for i := 0; i < b.N; i++ {
+		rows, err := s.NoiseRobustness([]float64{0.02, 0.05, 0.10, 0.20}, 6000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		out = experiments.FormatNoiseRobustness(rows)
+	}
+	b.Log("\n" + out)
+}

@@ -1,0 +1,201 @@
+// Command xbiosip regenerates the paper's tables and figures and runs the
+// full XBioSiP methodology from the command line.
+//
+// Usage:
+//
+//	xbiosip [flags] <experiment>
+//
+// Experiments: table1, table2, fig1, fig2, fig8, fig10, fig11, fig12,
+// fig13, dse, synth, all.
+//
+// Flags -records and -samples control the synthetic NSRDB-like evaluation
+// set (the paper's unit is one 20,000-sample recording).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/xbiosip/xbiosip/internal/core"
+	"github.com/xbiosip/xbiosip/internal/dsp"
+	"github.com/xbiosip/xbiosip/internal/experiments"
+	"github.com/xbiosip/xbiosip/internal/pantompkins"
+	"github.com/xbiosip/xbiosip/internal/synth"
+)
+
+func main() {
+	records := flag.Int("records", 1, "number of NSRDB-like records to evaluate on (1..18)")
+	samples := flag.Int("samples", 20000, "samples per record (paper: 20000 = 100 s at 200 Hz)")
+	psnr := flag.Float64("psnr", 15, "signal-quality constraint for the pre-processing gate (dB)")
+	accuracy := flag.Float64("accuracy", 1.0, "final peak-detection-accuracy constraint [0,1]")
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() != 1 {
+		usage()
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *records, *samples, *psnr, *accuracy); err != nil {
+		fmt.Fprintln(os.Stderr, "xbiosip:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: xbiosip [flags] <experiment>
+
+experiments:
+  table1   elementary approximate module library characterisation
+  table2   pre-processing design grid (exhaustive 81 + Algorithm 1)
+  fig1     sensor-node energy breakdown
+  fig2     LPF error-resilience sweep
+  fig8     HPF/DER/SQR/MWI error-resilience sweeps
+  fig10    uniform 4-LSB output-quality comparison
+  fig11    exploration-time comparison
+  fig12    energy-quality of configurations A1, A2, B1-B14
+  fig13    heartbeat misclassification analysis of B10
+  ablation stage energy under the three accounting policies
+  noise    detection accuracy vs EMG noise, accurate vs B9
+  dse      run the full two-gate XBioSiP methodology
+  synth    synthesis reports of the five accurate stage netlists
+  all      everything above
+
+flags:
+`)
+	flag.PrintDefaults()
+}
+
+func run(what string, records, samples int, psnr, accuracy float64) error {
+	// Experiments that need no evaluation environment.
+	switch what {
+	case "table1":
+		fmt.Print(experiments.Table1())
+		return nil
+	case "fig1":
+		fmt.Print(experiments.Fig1())
+		return nil
+	case "synth":
+		return synthReports()
+	}
+
+	s, err := experiments.NewSetup(records, samples)
+	if err != nil {
+		return err
+	}
+	all := what == "all"
+	if all {
+		fmt.Print(experiments.Table1(), "\n", experiments.Fig1(), "\n")
+		if err := synthReports(); err != nil {
+			return err
+		}
+	}
+	if all || what == "fig2" {
+		rows, err := s.StageResilience(pantompkins.LPF)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatResilience(pantompkins.LPF, rows), "\n")
+	}
+	if all || what == "fig8" {
+		for _, st := range []pantompkins.Stage{pantompkins.HPF, pantompkins.DER, pantompkins.SQR, pantompkins.MWI} {
+			rows, err := s.StageResilience(st)
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.FormatResilience(st, rows), "\n")
+		}
+	}
+	if all || what == "fig10" {
+		r, err := s.UniformApproximation(4)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatUniform(r), "\n")
+	}
+	if all || what == "table2" {
+		r, err := s.Table2(psnr)
+		if err != nil {
+			return err
+		}
+		fmt.Print(s.FormatTable2(r), "\n")
+	}
+	if all || what == "fig11" {
+		rows, err := s.ExplorationTime()
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatFig11(rows), "\n")
+	}
+	if all || what == "fig12" {
+		rows, err := s.Fig12()
+		if err != nil {
+			return err
+		}
+		out, err := s.FormatFig12(rows)
+		if err != nil {
+			return err
+		}
+		fmt.Print(out, "\n")
+	}
+	if all || what == "fig13" {
+		r, err := s.Misclassification(experiments.Fig12Configs[10])
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatMisclassification(r), "\n")
+	}
+	if all || what == "ablation" {
+		rows, err := s.EnergyAccountingAblation()
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatAblation(rows), "\n")
+	}
+	if all || what == "noise" {
+		rows, err := s.NoiseRobustness([]float64{0.02, 0.05, 0.10, 0.20}, samples)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatNoiseRobustness(rows), "\n")
+	}
+	if all || what == "dse" {
+		return runMethodology(s, psnr, accuracy)
+	}
+	switch what {
+	case "all", "fig2", "fig8", "fig10", "table2", "fig11", "fig12", "fig13", "ablation", "noise", "dse":
+		return nil
+	}
+	return fmt.Errorf("unknown experiment %q (run without arguments for usage)", what)
+}
+
+func runMethodology(s *experiments.Setup, psnr, accuracy float64) error {
+	m := core.NewMethodology(s.Eval, s.Energy)
+	m.SignalConstraint = psnr
+	m.FinalConstraint = accuracy
+	d, err := m.Run()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("XBioSiP methodology result (PSNR >= %.1f dB, accuracy >= %.2f%%)\n", psnr, 100*accuracy)
+	fmt.Printf("  pre-processing unit:   %v (%d evaluations)\n", d.PreConfig, d.PreEvaluations)
+	fmt.Printf("  final processor:       %v (%d evaluations)\n", d.Config, d.ProcEvaluations)
+	fmt.Printf("  peak accuracy %.2f%%, PSNR %.2f dB, SSIM %.3f\n",
+		100*d.Quality.PeakAccuracy, d.Quality.PSNR, d.Quality.SSIM)
+	fmt.Printf("  end-to-end energy reduction: %.2fx\n", d.EnergyReduction)
+	return nil
+}
+
+func synthReports() error {
+	for _, st := range pantompkins.Stages {
+		n, err := pantompkins.StageNetlist(st, dsp.Accurate())
+		if err != nil {
+			return err
+		}
+		r, err := synth.AnalyzeOptimized(n, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Print(synth.FormatReport(r))
+	}
+	return nil
+}

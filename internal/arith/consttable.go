@@ -1,0 +1,127 @@
+package arith
+
+import (
+	"fmt"
+	"sync"
+)
+
+// ConstMulTable is an exhaustive lookup table for the signed product of a
+// variable Width-bit operand with one fixed coefficient, computed bit-true
+// through a Multiplier. FIR stages only ever multiply the signal by fixed
+// coefficients, so a handful of tables makes quality evaluation O(1) per
+// operation while remaining exactly equivalent to the hardware model.
+type ConstMulTable struct {
+	mult  Multiplier
+	coeff int64
+	tab   []int64
+}
+
+// NewConstMulTable builds the table for coefficient c on multiplier m.
+// The operand width must be at most 16 bits (the table is 2^Width entries).
+func NewConstMulTable(m Multiplier, c int64) (*ConstMulTable, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if m.Width > 16 {
+		return nil, fmt.Errorf("arith: const-mul table width %d exceeds 16", m.Width)
+	}
+	n := 1 << m.Width
+	t := &ConstMulTable{mult: m, coeff: c, tab: make([]int64, n)}
+	for i := 0; i < n; i++ {
+		x := ToSigned(uint64(i), m.Width)
+		t.tab[i] = m.MulSigned(x, c)
+	}
+	return t, nil
+}
+
+// Coeff returns the fixed coefficient.
+func (t *ConstMulTable) Coeff() int64 { return t.coeff }
+
+// Mul returns the bit-true product of x (interpreted in Width-bit two's
+// complement) with the fixed coefficient.
+func (t *ConstMulTable) Mul(x int64) int64 {
+	return t.tab[uint64(x)&mask(t.mult.Width)]
+}
+
+// tableCache memoises ConstMulTable and SquareTable instances globally:
+// design-space exploration rebuilds pipelines for many configurations that
+// share stage settings, and table construction (2^Width bit-true products)
+// dominates pipeline construction cost.
+var tableCache struct {
+	sync.Mutex
+	mul map[mulKey]*ConstMulTable
+	sqr map[Multiplier]*SquareTable
+}
+
+type mulKey struct {
+	m Multiplier
+	c int64
+}
+
+// CachedConstMulTable returns a shared, memoised table for (m, c). Tables
+// are immutable after construction, so sharing is safe.
+func CachedConstMulTable(m Multiplier, c int64) (*ConstMulTable, error) {
+	tableCache.Lock()
+	defer tableCache.Unlock()
+	if tableCache.mul == nil {
+		tableCache.mul = make(map[mulKey]*ConstMulTable)
+	}
+	key := mulKey{m, c}
+	if t, ok := tableCache.mul[key]; ok {
+		return t, nil
+	}
+	t, err := NewConstMulTable(m, c)
+	if err != nil {
+		return nil, err
+	}
+	tableCache.mul[key] = t
+	return t, nil
+}
+
+// CachedSquareTable returns a shared, memoised squaring table for m.
+func CachedSquareTable(m Multiplier) (*SquareTable, error) {
+	tableCache.Lock()
+	defer tableCache.Unlock()
+	if tableCache.sqr == nil {
+		tableCache.sqr = make(map[Multiplier]*SquareTable)
+	}
+	if t, ok := tableCache.sqr[m]; ok {
+		return t, nil
+	}
+	t, err := NewSquareTable(m)
+	if err != nil {
+		return nil, err
+	}
+	tableCache.sqr[m] = t
+	return t, nil
+}
+
+// SquareTable is an exhaustive lookup table for x*x computed bit-true
+// through a Multiplier; it implements the squarer stage.
+type SquareTable struct {
+	mult Multiplier
+	tab  []int64
+}
+
+// NewSquareTable builds the squaring table for multiplier m (Width <= 16).
+func NewSquareTable(m Multiplier) (*SquareTable, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if m.Width > 16 {
+		return nil, fmt.Errorf("arith: square table width %d exceeds 16", m.Width)
+	}
+	n := 1 << m.Width
+	t := &SquareTable{mult: m, tab: make([]int64, n)}
+	for i := 0; i < n; i++ {
+		x := ToSigned(uint64(i), m.Width)
+		t.tab[i] = m.MulSigned(x, x)
+	}
+	return t, nil
+}
+
+// Square returns the bit-true square of x (interpreted in Width-bit two's
+// complement).
+func (t *SquareTable) Square(x int64) int64 {
+	return t.tab[uint64(x)&mask(t.mult.Width)]
+}

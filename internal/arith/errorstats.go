@@ -1,0 +1,112 @@
+package arith
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// ErrorStats holds the standard approximate-computing error metrics of a
+// word-level block, estimated over a uniform random operand sample:
+//
+//   - ER, the error rate: fraction of operand pairs with a wrong result;
+//   - MED, the mean error distance: mean |approx - exact|;
+//   - MRED, the mean relative error distance: mean |approx-exact| / |exact|
+//     (pairs with exact result 0 are skipped);
+//   - MaxED, the worst observed error distance.
+//
+// These are the figures of merit approximate-arithmetic papers (including
+// the ones XBioSiP builds on) use to position designs; the library exposes
+// them so downstream users can rank configurations without running a full
+// application study.
+type ErrorStats struct {
+	Samples int
+	ER      float64
+	MED     float64
+	MRED    float64
+	MaxED   float64
+}
+
+// AdderErrorStats estimates the error metrics of an approximate adder over
+// n uniformly random operand pairs (deterministic for a given seed).
+func AdderErrorStats(ad Adder, n int, seed int64) (ErrorStats, error) {
+	if err := ad.Validate(); err != nil {
+		return ErrorStats{}, err
+	}
+	if n <= 0 {
+		return ErrorStats{}, fmt.Errorf("arith: sample count %d must be positive", n)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	m := mask(ad.Width)
+	st := ErrorStats{Samples: n}
+	var relSum float64
+	relN := 0
+	for i := 0; i < n; i++ {
+		a, b := rng.Uint64()&m, rng.Uint64()&m
+		got := ad.Add(a, b)
+		want := (a + b) & m
+		if got == want {
+			continue
+		}
+		st.ER++
+		ed := math.Abs(float64(int64(got) - int64(want)))
+		// Wrap-around distance through the dropped carry.
+		if wrapped := math.Exp2(float64(ad.Width)) - ed; wrapped < ed {
+			ed = wrapped
+		}
+		st.MED += ed
+		if ed > st.MaxED {
+			st.MaxED = ed
+		}
+		if want != 0 {
+			relSum += ed / float64(want)
+			relN++
+		}
+	}
+	st.MED /= float64(n)
+	st.ER /= float64(n)
+	if relN > 0 {
+		st.MRED = relSum / float64(relN)
+	}
+	return st, nil
+}
+
+// MultiplierErrorStats estimates the error metrics of an approximate
+// multiplier over n uniformly random operand pairs.
+func MultiplierErrorStats(mu Multiplier, n int, seed int64) (ErrorStats, error) {
+	if err := mu.Validate(); err != nil {
+		return ErrorStats{}, err
+	}
+	if n <= 0 {
+		return ErrorStats{}, fmt.Errorf("arith: sample count %d must be positive", n)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	m := mask(mu.Width)
+	st := ErrorStats{Samples: n}
+	var relSum float64
+	relN := 0
+	for i := 0; i < n; i++ {
+		a, b := rng.Uint64()&m, rng.Uint64()&m
+		got := mu.Mul(a, b)
+		want := (a * b) & mask(2*mu.Width)
+		if got == want {
+			continue
+		}
+		st.ER++
+		ed := math.Abs(float64(int64(got) - int64(want)))
+		st.MED += ed
+		if ed > st.MaxED {
+			st.MaxED = ed
+		}
+		if want != 0 {
+			relSum += ed / float64(want)
+			relN++
+		}
+	}
+	st.MED /= float64(n)
+	st.ER /= float64(n)
+	if relN > 0 {
+		st.MRED = relSum / float64(relN)
+	}
+	return st, nil
+}

@@ -1,0 +1,94 @@
+package arith
+
+import (
+	"testing"
+
+	"github.com/xbiosip/xbiosip/internal/approx"
+)
+
+func TestAdderErrorStatsAccurateIsZero(t *testing.T) {
+	st, err := AdderErrorStats(Adder{Width: 32, Kind: approx.AccAdd}, 2000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ER != 0 || st.MED != 0 || st.MaxED != 0 {
+		t.Errorf("accurate adder has errors: %+v", st)
+	}
+}
+
+func TestAdderErrorStatsGrowWithK(t *testing.T) {
+	prev := -1.0
+	for _, k := range []int{2, 6, 10, 14} {
+		st, err := AdderErrorStats(Adder{Width: 32, ApproxLSBs: k, Kind: approx.ApproxAdd5}, 4000, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.MED <= prev {
+			t.Errorf("MED did not grow at k=%d: %v <= %v", k, st.MED, prev)
+		}
+		if st.MaxED >= float64(int64(1)<<(k+1)) {
+			t.Errorf("k=%d MaxED %v exceeds carry bound 2^%d", k, st.MaxED, k+1)
+		}
+		prev = st.MED
+	}
+}
+
+func TestAdderErrorStatsOrderingAcrossKinds(t *testing.T) {
+	// At equal k, AMA1 (one wrong pattern) must err less often than AMA5
+	// (wiring).
+	st1, err := AdderErrorStats(Adder{Width: 16, ApproxLSBs: 8, Kind: approx.ApproxAdd1}, 5000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st5, err := AdderErrorStats(Adder{Width: 16, ApproxLSBs: 8, Kind: approx.ApproxAdd5}, 5000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1.ER >= st5.ER {
+		t.Errorf("AMA1 error rate %v not below AMA5 %v", st1.ER, st5.ER)
+	}
+}
+
+func TestMultiplierErrorStats(t *testing.T) {
+	acc, err := MultiplierErrorStats(Multiplier{Width: 16, Mult: approx.AccMult, Add: approx.AccAdd}, 1000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc.ER != 0 {
+		t.Errorf("accurate multiplier errs: %+v", acc)
+	}
+	app, err := MultiplierErrorStats(Multiplier{Width: 16, ApproxLSBs: 12, Mult: approx.AppMultV1, Add: approx.ApproxAdd5}, 1000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if app.ER == 0 || app.MED == 0 {
+		t.Errorf("approximate multiplier reports no error: %+v", app)
+	}
+	if app.MRED <= 0 || app.MRED > 1 {
+		t.Errorf("MRED %v out of plausible range", app.MRED)
+	}
+}
+
+func TestErrorStatsValidation(t *testing.T) {
+	if _, err := AdderErrorStats(Adder{Width: 0}, 10, 1); err == nil {
+		t.Error("invalid adder accepted")
+	}
+	if _, err := AdderErrorStats(Adder{Width: 8, Kind: approx.AccAdd}, 0, 1); err == nil {
+		t.Error("zero samples accepted")
+	}
+	if _, err := MultiplierErrorStats(Multiplier{Width: 5, Mult: approx.AccMult, Add: approx.AccAdd}, 10, 1); err == nil {
+		t.Error("invalid multiplier accepted")
+	}
+	if _, err := MultiplierErrorStats(Multiplier{Width: 8, Mult: approx.AccMult, Add: approx.AccAdd}, -1, 1); err == nil {
+		t.Error("negative samples accepted")
+	}
+}
+
+func TestErrorStatsDeterministic(t *testing.T) {
+	a := Adder{Width: 16, ApproxLSBs: 6, Kind: approx.ApproxAdd3}
+	s1, _ := AdderErrorStats(a, 1000, 42)
+	s2, _ := AdderErrorStats(a, 1000, 42)
+	if s1 != s2 {
+		t.Error("same seed produced different statistics")
+	}
+}

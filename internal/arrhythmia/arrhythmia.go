@@ -1,0 +1,167 @@
+// Package arrhythmia implements RR-interval rhythm analysis on top of the
+// QRS detector: premature (ectopic) beat detection, pause detection,
+// rate classification and standard heart-rate-variability statistics.
+// This is the paper's stated future-work direction ("extend our work to
+// include diagnostic techniques... such as ECG-based arrhythmia
+// detection") built on the approximate detection pipeline, demonstrating
+// that downstream diagnostics survive the approximation.
+package arrhythmia
+
+import (
+	"fmt"
+	"math"
+)
+
+// FindingKind classifies one rhythm finding.
+type FindingKind int
+
+const (
+	// PrematureBeat is an RR interval much shorter than the running mean
+	// followed by a compensatory pause (PVC-like pattern).
+	PrematureBeat FindingKind = iota
+	// Pause is an RR interval far longer than the running mean.
+	Pause
+	// Tachycardia marks sustained rate above 100 bpm.
+	Tachycardia
+	// Bradycardia marks sustained rate below 50 bpm.
+	Bradycardia
+)
+
+// String names the finding kind.
+func (k FindingKind) String() string {
+	switch k {
+	case PrematureBeat:
+		return "premature beat"
+	case Pause:
+		return "pause"
+	case Tachycardia:
+		return "tachycardia"
+	case Bradycardia:
+		return "bradycardia"
+	default:
+		return fmt.Sprintf("FindingKind(%d)", int(k))
+	}
+}
+
+// Finding is one detected rhythm event, anchored at a beat index (sample
+// position of the R peak).
+type Finding struct {
+	Kind  FindingKind
+	Index int // sample index of the anchoring beat
+}
+
+// Report summarises the rhythm analysis of one recording.
+type Report struct {
+	Beats    int
+	MeanBPM  float64
+	SDNN     float64 // standard deviation of RR intervals, ms
+	RMSSD    float64 // root mean square of successive RR differences, ms
+	Findings []Finding
+}
+
+// Thresholds tune the rhythm classifier; zero fields take defaults.
+type Thresholds struct {
+	// PrematureRatio: RR below this fraction of the running mean flags a
+	// premature beat (default 0.80).
+	PrematureRatio float64
+	// PauseRatio: RR above this multiple of the running mean flags a
+	// pause (default 1.80).
+	PauseRatio float64
+	// TachyBPM / BradyBPM bound the normal rate band (defaults 100 / 50).
+	TachyBPM float64
+	BradyBPM float64
+}
+
+func (t *Thresholds) defaults() {
+	if t.PrematureRatio == 0 {
+		t.PrematureRatio = 0.80
+	}
+	if t.PauseRatio == 0 {
+		t.PauseRatio = 1.80
+	}
+	if t.TachyBPM == 0 {
+		t.TachyBPM = 100
+	}
+	if t.BradyBPM == 0 {
+		t.BradyBPM = 50
+	}
+}
+
+// Analyze classifies the rhythm of a detected beat sequence (ascending R
+// positions in samples) recorded at fs Hz.
+func Analyze(peaks []int, fs int, thr Thresholds) (*Report, error) {
+	if fs <= 0 {
+		return nil, fmt.Errorf("arrhythmia: sampling rate %d must be positive", fs)
+	}
+	for i := 1; i < len(peaks); i++ {
+		if peaks[i] <= peaks[i-1] {
+			return nil, fmt.Errorf("arrhythmia: peaks not strictly increasing at %d", i)
+		}
+	}
+	thr.defaults()
+	rep := &Report{Beats: len(peaks)}
+	if len(peaks) < 3 {
+		return rep, nil
+	}
+
+	rr := make([]float64, len(peaks)-1) // seconds
+	for i := 1; i < len(peaks); i++ {
+		rr[i-1] = float64(peaks[i]-peaks[i-1]) / float64(fs)
+	}
+
+	// HRV statistics.
+	mean := 0.0
+	for _, v := range rr {
+		mean += v
+	}
+	mean /= float64(len(rr))
+	rep.MeanBPM = 60 / mean
+	varSum := 0.0
+	for _, v := range rr {
+		varSum += (v - mean) * (v - mean)
+	}
+	rep.SDNN = 1000 * math.Sqrt(varSum/float64(len(rr)))
+	if len(rr) > 1 {
+		ss := 0.0
+		for i := 1; i < len(rr); i++ {
+			d := rr[i] - rr[i-1]
+			ss += d * d
+		}
+		rep.RMSSD = 1000 * math.Sqrt(ss/float64(len(rr)-1))
+	}
+
+	// Rhythm findings against a running RR mean (window of 8, seeded by
+	// the global mean).
+	running := mean
+	const alpha = 0.125
+	for i, v := range rr {
+		anchor := peaks[i+1]
+		switch {
+		case v < thr.PrematureRatio*running:
+			rep.Findings = append(rep.Findings, Finding{Kind: PrematureBeat, Index: anchor})
+			// Do not drag the running mean down with the short beat.
+		case v > thr.PauseRatio*running:
+			rep.Findings = append(rep.Findings, Finding{Kind: Pause, Index: anchor})
+		default:
+			running = alpha*v + (1-alpha)*running
+		}
+	}
+	switch {
+	case rep.MeanBPM > thr.TachyBPM:
+		rep.Findings = append(rep.Findings, Finding{Kind: Tachycardia, Index: peaks[0]})
+	case rep.MeanBPM < thr.BradyBPM:
+		rep.Findings = append(rep.Findings, Finding{Kind: Bradycardia, Index: peaks[0]})
+	}
+	return rep, nil
+}
+
+// Count returns how many findings of the given kind the report holds.
+func (r *Report) Count(kind FindingKind) int {
+	n := 0
+	for _, f := range r.Findings {
+		if f.Kind == kind {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,151 @@
+package arrhythmia
+
+import (
+	"testing"
+
+	"github.com/xbiosip/xbiosip/internal/approx"
+	"github.com/xbiosip/xbiosip/internal/core"
+	"github.com/xbiosip/xbiosip/internal/dsp"
+	"github.com/xbiosip/xbiosip/internal/ecg"
+	"github.com/xbiosip/xbiosip/internal/metrics"
+	"github.com/xbiosip/xbiosip/internal/pantompkins"
+)
+
+// regularPeaks builds a steady rhythm at the given BPM.
+func regularPeaks(bpm float64, fs, n int) []int {
+	rr := int(60 * float64(fs) / bpm)
+	peaks := make([]int, n)
+	for i := range peaks {
+		peaks[i] = 100 + i*rr
+	}
+	return peaks
+}
+
+func TestAnalyzeSteadyRhythm(t *testing.T) {
+	rep, err := Analyze(regularPeaks(72, 200, 60), 200, Thresholds{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MeanBPM < 70 || rep.MeanBPM > 74 {
+		t.Errorf("mean BPM %.1f, want ~72", rep.MeanBPM)
+	}
+	if len(rep.Findings) != 0 {
+		t.Errorf("steady rhythm produced findings: %v", rep.Findings)
+	}
+	if rep.SDNN > 5 {
+		t.Errorf("steady rhythm SDNN %.1f ms, want ~0", rep.SDNN)
+	}
+}
+
+func TestAnalyzeDetectsPrematureBeat(t *testing.T) {
+	peaks := regularPeaks(60, 200, 30)
+	// Make beat 15 premature: shift it 40% early.
+	rr := peaks[15] - peaks[14]
+	peaks[15] -= int(0.4 * float64(rr))
+	rep, err := Analyze(peaks, 200, Thresholds{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Count(PrematureBeat) == 0 {
+		t.Error("premature beat not found")
+	}
+}
+
+func TestAnalyzeDetectsPause(t *testing.T) {
+	peaks := regularPeaks(60, 200, 30)
+	for i := 15; i < len(peaks); i++ {
+		peaks[i] += 300 // 1.5 s gap before beat 15
+	}
+	rep, err := Analyze(peaks, 200, Thresholds{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Count(Pause) == 0 {
+		t.Error("pause not found")
+	}
+}
+
+func TestAnalyzeRateClassification(t *testing.T) {
+	rep, _ := Analyze(regularPeaks(120, 200, 40), 200, Thresholds{})
+	if rep.Count(Tachycardia) != 1 {
+		t.Error("tachycardia not flagged at 120 bpm")
+	}
+	rep, _ = Analyze(regularPeaks(40, 200, 40), 200, Thresholds{})
+	if rep.Count(Bradycardia) != 1 {
+		t.Error("bradycardia not flagged at 40 bpm")
+	}
+}
+
+func TestAnalyzeValidation(t *testing.T) {
+	if _, err := Analyze([]int{10, 5}, 200, Thresholds{}); err == nil {
+		t.Error("unsorted peaks accepted")
+	}
+	if _, err := Analyze(nil, 0, Thresholds{}); err == nil {
+		t.Error("zero sampling rate accepted")
+	}
+	rep, err := Analyze([]int{1, 2}, 200, Thresholds{})
+	if err != nil || len(rep.Findings) != 0 {
+		t.Error("short sequences should analyse trivially")
+	}
+}
+
+func TestEctopicScreeningSurvivesApproximation(t *testing.T) {
+	// End-to-end future-work scenario: generate a recording with ectopic
+	// beats, detect QRS with the paper's B9 approximate design, and check
+	// the RR analysis still finds the ectopics.
+	cfg := ecg.DefaultConfig()
+	cfg.EctopicRate = 0.08
+	cfg.Seed = 7
+	rec, err := cfg.Generate("ectopic", 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trueEctopics := 0
+	for _, e := range rec.Ectopic {
+		if e {
+			trueEctopics++
+		}
+	}
+	if trueEctopics < 3 {
+		t.Skipf("only %d ectopics generated", trueEctopics)
+	}
+
+	var b9 pantompkins.Config
+	for i, s := range pantompkins.Stages {
+		b9.Stage[s] = dsp.ArithConfig{LSBs: []int{10, 12, 2, 8, 16}[i], Add: approx.ApproxAdd5, Mul: approx.AppMultV1}
+	}
+	p, err := pantompkins.New(b9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det := p.Process(rec).Detection
+	m, err := metrics.MatchPeaks(rec.Annotations, det.Peaks, core.DefaultPeakTolerance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Sensitivity() < 0.95 {
+		t.Fatalf("approximate detector lost too many ectopic-rhythm beats: %.2f", m.Sensitivity())
+	}
+
+	rep, err := Analyze(det.Peaks, rec.FS, Thresholds{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := rep.Count(PrematureBeat)
+	if found < trueEctopics/2 {
+		t.Errorf("found %d premature beats, want at least half of %d", found, trueEctopics)
+	}
+}
+
+func TestFindingKindStrings(t *testing.T) {
+	for k, want := range map[FindingKind]string{
+		PrematureBeat: "premature beat",
+		Pause:         "pause",
+		Tachycardia:   "tachycardia",
+		Bradycardia:   "bradycardia",
+	} {
+		if k.String() != want {
+			t.Errorf("%d = %q, want %q", int(k), k.String(), want)
+		}
+	}
+}

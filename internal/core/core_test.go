@@ -1,0 +1,141 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"github.com/xbiosip/xbiosip/internal/approx"
+	"github.com/xbiosip/xbiosip/internal/dsp"
+	"github.com/xbiosip/xbiosip/internal/ecg"
+	"github.com/xbiosip/xbiosip/internal/energy"
+	"github.com/xbiosip/xbiosip/internal/pantompkins"
+)
+
+func testEvaluator(t *testing.T, n int) *Evaluator {
+	t.Helper()
+	rec, err := ecg.NSRDBRecord(0, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eval, err := NewEvaluator([]*ecg.Record{rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eval
+}
+
+func TestEvaluatorAccurateConfigPerfect(t *testing.T) {
+	eval := testEvaluator(t, 8000)
+	q, err := eval.Evaluate(pantompkins.AccurateConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.PeakAccuracy != 1 {
+		t.Errorf("accurate accuracy %v, want 1", q.PeakAccuracy)
+	}
+	if q.PSNR < 100 {
+		t.Errorf("accurate PSNR %v, want clamped identity (120)", q.PSNR)
+	}
+	if math.Abs(q.SSIM-1) > 1e-9 {
+		t.Errorf("accurate SSIM %v, want 1", q.SSIM)
+	}
+	if eval.Evaluations() != 1 {
+		t.Errorf("evaluation counter %d, want 1", eval.Evaluations())
+	}
+}
+
+func TestEvaluatorQualityDegradesMonotonically(t *testing.T) {
+	eval := testEvaluator(t, 8000)
+	psnr := func(k int) float64 {
+		var cfg pantompkins.Config
+		cfg.Stage[pantompkins.HPF] = dsp.ArithConfig{LSBs: k, Add: approx.ApproxAdd5, Mul: approx.AppMultV1}
+		q, err := eval.Evaluate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return q.PSNR
+	}
+	p4, p12 := psnr(4), psnr(12)
+	if !(p12 < p4) {
+		t.Errorf("PSNR did not degrade: k=4 %.2f, k=12 %.2f", p4, p12)
+	}
+}
+
+func TestEvaluatorRejectsEmptyRecords(t *testing.T) {
+	if _, err := NewEvaluator(nil); err == nil {
+		t.Error("empty record set accepted")
+	}
+}
+
+func TestDefaultLSBLists(t *testing.T) {
+	lists := DefaultLSBLists()
+	for _, s := range pantompkins.Stages {
+		l := lists[s]
+		if len(l) == 0 {
+			t.Fatalf("no list for %v", s)
+		}
+		if l[0] != pantompkins.MaxLSBs[s] {
+			t.Errorf("%v list starts at %d, want %d", s, l[0], pantompkins.MaxLSBs[s])
+		}
+		if l[len(l)-1] != 0 {
+			t.Errorf("%v list must end at 0", s)
+		}
+		for i := 1; i < len(l); i++ {
+			if l[i] != l[i-1]-2 {
+				t.Errorf("%v list not multiples of two: %v", s, l)
+			}
+		}
+	}
+}
+
+func TestMethodologyEndToEnd(t *testing.T) {
+	// The full two-gate flow on a small record: it must terminate, satisfy
+	// both constraints, approximate something, and save energy.
+	if testing.Short() {
+		t.Skip("methodology run is slow")
+	}
+	rec, err := ecg.NSRDBRecord(0, 6000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eval, err := NewEvaluator([]*ecg.Record{rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stim, err := energy.NewStimulus(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	em := energy.NewModel(stim)
+	em.Vectors = 300
+	m := NewMethodology(eval, em)
+
+	d, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Quality.PeakAccuracy < m.FinalConstraint {
+		t.Errorf("final accuracy %.3f below constraint %.3f", d.Quality.PeakAccuracy, m.FinalConstraint)
+	}
+	total := 0
+	for _, s := range pantompkins.Stages {
+		total += d.Config.Stage[s].LSBs
+	}
+	if total == 0 {
+		t.Error("methodology produced the accurate design (no approximation)")
+	}
+	if d.EnergyReduction <= 1 {
+		t.Errorf("energy reduction %.2f, want > 1", d.EnergyReduction)
+	}
+	if d.PreEvaluations == 0 || d.ProcEvaluations == 0 {
+		t.Error("missing exploration counts")
+	}
+	// The pre-processing gate additionally enforces the PSNR constraint.
+	preQ, err := eval.Evaluate(d.PreConfig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if preQ.PSNR < m.SignalConstraint {
+		t.Errorf("pre-processing PSNR %.2f below gate %.2f", preQ.PSNR, m.SignalConstraint)
+	}
+}

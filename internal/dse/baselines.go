@@ -1,0 +1,115 @@
+package dse
+
+import (
+	"github.com/xbiosip/xbiosip/internal/dsp"
+	"github.com/xbiosip/xbiosip/internal/pantompkins"
+)
+
+// Exhaustive evaluates the full cross product of the option lists over the
+// given stages jointly (the paper's "exhaustive exploration of all 9x9=81
+// possible combinations" for the pre-processing stage) and returns the
+// lowest-energy configuration satisfying the constraint.
+func Exhaustive(opt Options, eval EvaluateFunc, energy StageEnergyFunc) (Result, error) {
+	if err := opt.validate(); err != nil {
+		return Result{}, err
+	}
+	e := &explorer{opt: opt, eval: eval, energy: energy, chosen: make(map[pantompkins.Stage]dsp.ArithConfig)}
+
+	assign := make(map[pantompkins.Stage]dsp.ArithConfig, len(opt.Stages))
+	bestEnergy := 0.0
+	bestQuality := 0.0
+	found := false
+	var bestAssign map[pantompkins.Stage]dsp.ArithConfig
+
+	var rec func(idx int) error
+	rec = func(idx int) error {
+		if idx == len(opt.Stages) {
+			q, ok, err := e.evaluate(assign, 0)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return nil
+			}
+			total := 0.0
+			for s, c := range assign {
+				en, err := energy(s, c)
+				if err != nil {
+					return err
+				}
+				total += en
+			}
+			if !found || total < bestEnergy {
+				found = true
+				bestEnergy = total
+				bestQuality = q
+				bestAssign = make(map[pantompkins.Stage]dsp.ArithConfig, len(assign))
+				for s, c := range assign {
+					bestAssign[s] = c
+				}
+			}
+			return nil
+		}
+		s := opt.Stages[idx]
+		for _, lsb := range opt.LSBs[s] {
+			for _, mul := range opt.Mults {
+				for _, add := range opt.Adds {
+					assign[s] = dsp.ArithConfig{LSBs: lsb, Add: add, Mul: mul}
+					if err := rec(idx + 1); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		delete(assign, s)
+		return nil
+	}
+	if err := rec(0); err != nil {
+		return Result{}, err
+	}
+	if found {
+		e.chosen = bestAssign
+	}
+	e.result.Config = e.config(nil)
+	e.result.Quality = bestQuality
+	return e.result, nil
+}
+
+// GridPoint is one cell of an exhaustive two-stage grid (the paper's
+// Table 2 layout).
+type GridPoint struct {
+	K1, K2  int
+	Quality float64
+	Energy  float64 // combined stage energy of the two explored stages
+	Passed  bool
+}
+
+// ExhaustiveGrid evaluates every (k1, k2) pair for two stages with fixed
+// module kinds and returns the grid (Table 2's PSNR/energy matrix).
+func ExhaustiveGrid(opt Options, s1, s2 pantompkins.Stage, eval EvaluateFunc, energy StageEnergyFunc) ([]GridPoint, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	e := &explorer{opt: opt, eval: eval, energy: energy, chosen: make(map[pantompkins.Stage]dsp.ArithConfig)}
+	var grid []GridPoint
+	for _, k1 := range opt.LSBs[s1] {
+		for _, k2 := range opt.LSBs[s2] {
+			c1 := dsp.ArithConfig{LSBs: k1, Add: opt.Adds[0], Mul: opt.Mults[0]}
+			c2 := dsp.ArithConfig{LSBs: k2, Add: opt.Adds[0], Mul: opt.Mults[0]}
+			q, ok, err := e.evaluate(map[pantompkins.Stage]dsp.ArithConfig{s1: c1, s2: c2}, 0)
+			if err != nil {
+				return nil, err
+			}
+			en1, err := energy(s1, c1)
+			if err != nil {
+				return nil, err
+			}
+			en2, err := energy(s2, c2)
+			if err != nil {
+				return nil, err
+			}
+			grid = append(grid, GridPoint{K1: k1, K2: k2, Quality: q, Energy: en1 + en2, Passed: ok})
+		}
+	}
+	return grid, nil
+}

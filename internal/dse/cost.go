@@ -1,0 +1,93 @@
+package dse
+
+import (
+	"math"
+
+	"github.com/xbiosip/xbiosip/internal/approx"
+	"github.com/xbiosip/xbiosip/internal/dsp"
+	"github.com/xbiosip/xbiosip/internal/netlist"
+	"github.com/xbiosip/xbiosip/internal/pantompkins"
+)
+
+// PaperSecondsPerEvaluation is the paper's calibration: filtering and
+// processing one 20,000-sample ECG recording takes ~300 s in their MATLAB
+// flow (§6.1). Exploration durations in "paper-equivalent hours" multiply
+// evaluation counts by this constant.
+const PaperSecondsPerEvaluation = 300.0
+
+// ExplorationCost describes the cost of one exploration strategy over a
+// set of stages (one bar group of the paper's Fig 11).
+type ExplorationCost struct {
+	Stages      int
+	Evaluations float64 // number of design evaluations (heuristic/Algorithm 1)
+	Hours       float64 // paper-equivalent duration in hours
+	// Log10Evaluations is used for the exhaustive per-cell estimate whose
+	// count overflows float64 range semantics (the paper quotes up to
+	// 1e220 years); Hours is +Inf there and Log10Years carries the scale.
+	Log10Evaluations float64
+	Log10Years       float64
+}
+
+// HeuristicCost counts the paper's "heuristic" baseline: the same
+// elementary module pair used throughout each design and LSB counts
+// restricted to multiples of two — i.e. the cross product of the per-stage
+// LSB lists times the module-pair choices, evaluated jointly across
+// stages.
+func HeuristicCost(stages []pantompkins.Stage, lsbs map[pantompkins.Stage][]int, modulePairs int) ExplorationCost {
+	evals := float64(modulePairs)
+	for _, s := range stages {
+		evals *= float64(len(lsbs[s]))
+	}
+	return ExplorationCost{
+		Stages:           len(stages),
+		Evaluations:      evals,
+		Hours:            evals * PaperSecondsPerEvaluation / 3600,
+		Log10Evaluations: math.Log10(evals),
+		Log10Years:       math.Log10(evals * PaperSecondsPerEvaluation / (3600 * 24 * 365)),
+	}
+}
+
+// ExhaustiveCost estimates the unrestricted exploration: every elementary
+// adder cell in the stage hardware independently chooses one of the
+// library's adder kinds and every 2x2 multiplier cell one of the
+// multiplier kinds. The count is astronomical (the paper quotes ~1e220
+// years for six stages), so it is carried in log10.
+func ExhaustiveCost(stages []pantompkins.Stage) (ExplorationCost, error) {
+	log10 := 0.0
+	for _, s := range stages {
+		n, err := pantompkins.StageNetlist(s, dsp.Accurate())
+		if err != nil {
+			return ExplorationCost{}, err
+		}
+		fa, m2 := 0, 0
+		for i := range n.Cells {
+			switch n.Cells[i].Kind {
+			case netlist.CellFA:
+				fa++
+			case netlist.CellMult2:
+				m2++
+			}
+		}
+		log10 += float64(fa)*math.Log10(approx.NumAdderKinds) + float64(m2)*math.Log10(approx.NumMultKinds)
+	}
+	return ExplorationCost{
+		Stages:           len(stages),
+		Evaluations:      math.Inf(1),
+		Hours:            math.Inf(1),
+		Log10Evaluations: log10,
+		Log10Years:       log10 + math.Log10(PaperSecondsPerEvaluation/(3600*24*365)),
+	}, nil
+}
+
+// MeasuredCost converts an observed evaluation count into paper-equivalent
+// duration.
+func MeasuredCost(stages, evaluations int) ExplorationCost {
+	evals := float64(evaluations)
+	return ExplorationCost{
+		Stages:           stages,
+		Evaluations:      evals,
+		Hours:            evals * PaperSecondsPerEvaluation / 3600,
+		Log10Evaluations: math.Log10(evals),
+		Log10Years:       math.Log10(evals * PaperSecondsPerEvaluation / (3600 * 24 * 365)),
+	}
+}

@@ -1,0 +1,262 @@
+// Package dsp provides the approximate fixed-point DSP building blocks the
+// Pan-Tompkins stages are assembled from: a direct-form FIR filter, a
+// moving-window integrator and a squarer, all parameterised by the number
+// of approximated LSBs and the elementary adder/multiplier kinds
+// (paper §4.2). Every arithmetic operation is evaluated bit-true through
+// the behavioural models of package arith, so the output equals what the
+// generated hardware computes.
+package dsp
+
+import (
+	"fmt"
+
+	"github.com/xbiosip/xbiosip/internal/approx"
+	"github.com/xbiosip/xbiosip/internal/arith"
+)
+
+// ArithConfig selects the approximation of one processing stage: the
+// number of approximated LSBs and the elementary cells used there. The
+// zero value (0 LSBs) is the accurate configuration.
+type ArithConfig struct {
+	LSBs int
+	Add  approx.AdderKind
+	Mul  approx.MultKind
+}
+
+// Accurate returns the exact configuration.
+func Accurate() ArithConfig { return ArithConfig{} }
+
+// String renders the configuration compactly, e.g. "k=8/ApproxAdd5/AppMultV1".
+func (c ArithConfig) String() string {
+	return fmt.Sprintf("k=%d/%v/%v", c.LSBs, c.Add, c.Mul)
+}
+
+// SampleWidth is the ADC word width the pipeline processes (paper §3).
+const SampleWidth = 16
+
+// AccWidth is the accumulator/adder width of the processing units
+// (the paper synthesises 32-bit adders and 16x16 multipliers, §5).
+const AccWidth = 32
+
+// FIR is a direct-form FIR filter with constant integer coefficients. Each
+// tap multiplies through a bit-true approximate multiplier (realised as an
+// exhaustive lookup table per coefficient) and the products accumulate
+// through an approximate ripple-carry adder chain in tap order, exactly
+// mirroring the generated stage netlist: negative coefficients subtract
+// their product magnitude.
+type FIR struct {
+	coeffs   []int64
+	tables   []*arith.ConstMulTable
+	adder    arith.Adder
+	outShift int
+	hist     []int64
+	pos      int
+}
+
+// NewFIR builds the filter. outShift is the right shift applied to the
+// accumulator before the result is sliced back to SampleWidth bits.
+func NewFIR(coeffs []int64, outShift int, cfg ArithConfig) (*FIR, error) {
+	if len(coeffs) == 0 {
+		return nil, fmt.Errorf("dsp: FIR needs at least one coefficient")
+	}
+	if outShift < 0 || outShift >= AccWidth {
+		return nil, fmt.Errorf("dsp: FIR output shift %d out of range", outShift)
+	}
+	mult := arith.Multiplier{Width: SampleWidth, ApproxLSBs: cfg.LSBs, Mult: cfg.Mul, Add: cfg.Add}
+	if err := mult.Validate(); err != nil {
+		return nil, err
+	}
+	adder := arith.Adder{Width: AccWidth, ApproxLSBs: cfg.LSBs, Kind: cfg.Add}
+	if err := adder.Validate(); err != nil {
+		return nil, err
+	}
+	f := &FIR{
+		coeffs:   append([]int64(nil), coeffs...),
+		tables:   make([]*arith.ConstMulTable, len(coeffs)),
+		adder:    adder,
+		outShift: outShift,
+		hist:     make([]int64, len(coeffs)),
+	}
+	// One lookup table per distinct coefficient magnitude.
+	byMag := make(map[int64]*arith.ConstMulTable)
+	for i, c := range coeffs {
+		if c == 0 {
+			continue
+		}
+		mag := c
+		if mag < 0 {
+			mag = -mag
+		}
+		tab, ok := byMag[mag]
+		if !ok {
+			var err error
+			tab, err = arith.CachedConstMulTable(mult, mag)
+			if err != nil {
+				return nil, err
+			}
+			byMag[mag] = tab
+		}
+		f.tables[i] = tab
+	}
+	return f, nil
+}
+
+// Len returns the number of taps.
+func (f *FIR) Len() int { return len(f.coeffs) }
+
+// Coeffs returns a copy of the coefficients.
+func (f *FIR) Coeffs() []int64 { return append([]int64(nil), f.coeffs...) }
+
+// Reset clears the delay line.
+func (f *FIR) Reset() {
+	for i := range f.hist {
+		f.hist[i] = 0
+	}
+	f.pos = 0
+}
+
+// Process consumes one SampleWidth-bit sample and produces one output
+// sample (sign-extended from the hardware's output slice).
+func (f *FIR) Process(x int64) int64 {
+	f.hist[f.pos] = x
+	n := len(f.coeffs)
+	var acc int64
+	started := false
+	for i := 0; i < n; i++ {
+		c := f.coeffs[i]
+		if c == 0 {
+			continue
+		}
+		idx := f.pos - i
+		if idx < 0 {
+			idx += n
+		}
+		p := f.tables[i].Mul(f.hist[idx])
+		switch {
+		case !started && c > 0:
+			acc = p
+			started = true
+		case !started:
+			acc = f.adder.SubSigned(0, p)
+			started = true
+		case c > 0:
+			acc = f.adder.AddSigned(acc, p)
+		default:
+			acc = f.adder.SubSigned(acc, p)
+		}
+	}
+	f.pos++
+	if f.pos == n {
+		f.pos = 0
+	}
+	return arith.ToSigned(uint64(acc)>>uint(f.outShift), SampleWidth)
+}
+
+// Filter runs the filter over a whole signal from a cleared delay line.
+func (f *FIR) Filter(xs []int64) []int64 {
+	f.Reset()
+	out := make([]int64, len(xs))
+	for i, x := range xs {
+		out[i] = f.Process(x)
+	}
+	return out
+}
+
+// MovingSum is the moving-window integration stage: a Window-deep delay
+// line accumulated by a chain of approximate adders each sample, matching
+// the stage netlist ("composed solely of adder blocks", paper §4.2). Its
+// input is the squarer's full 32-bit product — keeping the beat's energy
+// envelope in the accumulator's upper bits is what gives this stage its
+// extreme error resilience (paper §4.2 tolerates 16 approximated LSBs).
+type MovingSum struct {
+	adder    arith.Adder
+	outShift int
+	hist     []int64
+	pos      int
+}
+
+// NewMovingSum builds the integrator with the given window length.
+func NewMovingSum(window, outShift int, cfg ArithConfig) (*MovingSum, error) {
+	if window < 2 {
+		return nil, fmt.Errorf("dsp: moving-sum window %d too small", window)
+	}
+	if outShift < 0 || outShift >= AccWidth {
+		return nil, fmt.Errorf("dsp: moving-sum output shift %d out of range", outShift)
+	}
+	adder := arith.Adder{Width: AccWidth, ApproxLSBs: cfg.LSBs, Kind: cfg.Add}
+	if err := adder.Validate(); err != nil {
+		return nil, err
+	}
+	return &MovingSum{adder: adder, outShift: outShift, hist: make([]int64, window)}, nil
+}
+
+// Window returns the integration window length.
+func (m *MovingSum) Window() int { return len(m.hist) }
+
+// Reset clears the delay line.
+func (m *MovingSum) Reset() {
+	for i := range m.hist {
+		m.hist[i] = 0
+	}
+	m.pos = 0
+}
+
+// Process consumes one sample and returns the windowed sum, shifted and
+// sliced like the hardware output bus.
+func (m *MovingSum) Process(x int64) int64 {
+	m.hist[m.pos] = x
+	m.pos++
+	if m.pos == len(m.hist) {
+		m.pos = 0
+	}
+	acc := m.hist[0]
+	for i := 1; i < len(m.hist); i++ {
+		acc = m.adder.AddSigned(acc, m.hist[i])
+	}
+	return arith.ToSigned(uint64(acc)>>uint(m.outShift), AccWidth-m.outShift)
+}
+
+// Filter runs the integrator over a whole signal from a cleared window.
+func (m *MovingSum) Filter(xs []int64) []int64 {
+	m.Reset()
+	out := make([]int64, len(xs))
+	for i, x := range xs {
+		out[i] = m.Process(x)
+	}
+	return out
+}
+
+// Squarer is the point-by-point squaring stage (one 16x16 multiplier,
+// paper §3 stage D). The full 32-bit product feeds the integrator, shifted
+// right by outShift (0 in the reference pipeline).
+type Squarer struct {
+	tab      *arith.SquareTable
+	outShift int
+}
+
+// NewSquarer builds the squarer.
+func NewSquarer(outShift int, cfg ArithConfig) (*Squarer, error) {
+	if outShift < 0 || outShift >= 2*SampleWidth {
+		return nil, fmt.Errorf("dsp: squarer output shift %d out of range", outShift)
+	}
+	mult := arith.Multiplier{Width: SampleWidth, ApproxLSBs: cfg.LSBs, Mult: cfg.Mul, Add: cfg.Add}
+	tab, err := arith.CachedSquareTable(mult)
+	if err != nil {
+		return nil, err
+	}
+	return &Squarer{tab: tab, outShift: outShift}, nil
+}
+
+// Process squares one sample.
+func (s *Squarer) Process(x int64) int64 {
+	return s.tab.Square(x) >> uint(s.outShift)
+}
+
+// Filter squares a whole signal.
+func (s *Squarer) Filter(xs []int64) []int64 {
+	out := make([]int64, len(xs))
+	for i, x := range xs {
+		out[i] = s.Process(x)
+	}
+	return out
+}

@@ -1,0 +1,258 @@
+package dsp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/xbiosip/xbiosip/internal/approx"
+)
+
+func TestAccurateFIRMatchesConvolution(t *testing.T) {
+	coeffs := []int64{1, 2, 3, 4, 5, 6, 5, 4, 3, 2, 1}
+	f, err := NewFIR(coeffs, 0, Accurate())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]int64, 300)
+	for i := range xs {
+		// Small values: |y| <= 500*36 stays inside the 16-bit output slice.
+		xs[i] = int64(rng.Intn(1000) - 500)
+	}
+	got := f.Filter(xs)
+	for n := range xs {
+		var want int64
+		for i, c := range coeffs {
+			if n-i >= 0 {
+				want += c * xs[n-i]
+			}
+		}
+		if got[n] != want {
+			t.Fatalf("sample %d: got %d, want %d", n, got[n], want)
+		}
+	}
+}
+
+func TestAccurateFIRNegativeCoefficients(t *testing.T) {
+	coeffs := []int64{2, 1, 0, -1, -2}
+	f, err := NewFIR(coeffs, 0, Accurate())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	xs := make([]int64, 200)
+	for i := range xs {
+		xs[i] = int64(int16(rng.Uint64())) / 8
+	}
+	got := f.Filter(xs)
+	for n := range xs {
+		var want int64
+		for i, c := range coeffs {
+			if n-i >= 0 {
+				want += c * xs[n-i]
+			}
+		}
+		if got[n] != want {
+			t.Fatalf("sample %d: got %d, want %d", n, got[n], want)
+		}
+	}
+}
+
+func TestFIROutputShift(t *testing.T) {
+	f, err := NewFIR([]int64{32}, 5, Accurate())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []int64{0, 1, 100, -100, 32767, -32768} {
+		f.Reset()
+		if got := f.Process(x); got != x {
+			t.Errorf("(32*%d)>>5 = %d, want %d", x, got, x)
+		}
+	}
+}
+
+func TestFIRResetClearsState(t *testing.T) {
+	f, err := NewFIR([]int64{1, 1, 1}, 0, Accurate())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Process(100)
+	f.Process(200)
+	f.Reset()
+	if got := f.Process(5); got != 5 {
+		t.Errorf("after Reset, first output = %d, want 5", got)
+	}
+}
+
+func TestFIRApproximationChangesOutput(t *testing.T) {
+	coeffs := []int64{1, 2, 3, 4, 5, 6, 5, 4, 3, 2, 1}
+	acc, _ := NewFIR(coeffs, 5, Accurate())
+	app, err := NewFIR(coeffs, 5, ArithConfig{LSBs: 12, Add: approx.ApproxAdd5, Mul: approx.AppMultV1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	differs := false
+	for i := 0; i < 500; i++ {
+		x := int64(int16(rng.Uint64()))
+		if acc.Process(x) != app.Process(x) {
+			differs = true
+		}
+	}
+	if !differs {
+		t.Error("12-LSB approximation never changed the LPF output")
+	}
+}
+
+func TestFIRValidation(t *testing.T) {
+	if _, err := NewFIR(nil, 0, Accurate()); err == nil {
+		t.Error("empty coefficients accepted")
+	}
+	if _, err := NewFIR([]int64{1}, -1, Accurate()); err == nil {
+		t.Error("negative shift accepted")
+	}
+	if _, err := NewFIR([]int64{1}, AccWidth, Accurate()); err == nil {
+		t.Error("oversized shift accepted")
+	}
+	if _, err := NewFIR([]int64{1}, 0, ArithConfig{LSBs: -1}); err == nil {
+		t.Error("negative LSBs accepted")
+	}
+}
+
+func TestFIRAccessors(t *testing.T) {
+	coeffs := []int64{3, -1, 4}
+	f, err := NewFIR(coeffs, 0, Accurate())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Len() != 3 {
+		t.Errorf("Len = %d", f.Len())
+	}
+	got := f.Coeffs()
+	got[0] = 99 // must be a copy
+	if f.Coeffs()[0] != 3 {
+		t.Error("Coeffs returned internal slice")
+	}
+}
+
+func TestMovingSumAccurate(t *testing.T) {
+	m, err := NewMovingSum(4, 0, Accurate())
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := []int64{1, 2, 3, 4, 5, 6}
+	want := []int64{1, 3, 6, 10, 14, 18}
+	got := m.Filter(xs)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("sample %d: got %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMovingSumShift(t *testing.T) {
+	m, err := NewMovingSum(32, 5, Accurate())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last int64
+	for i := 0; i < 64; i++ {
+		last = m.Process(32)
+	}
+	if last != 32 { // (32*32)>>5
+		t.Errorf("windowed average = %d, want 32", last)
+	}
+	if m.Window() != 32 {
+		t.Errorf("Window = %d", m.Window())
+	}
+}
+
+func TestMovingSumValidation(t *testing.T) {
+	if _, err := NewMovingSum(1, 0, Accurate()); err == nil {
+		t.Error("window 1 accepted")
+	}
+	if _, err := NewMovingSum(8, AccWidth, Accurate()); err == nil {
+		t.Error("oversized shift accepted")
+	}
+}
+
+func TestSquarerAccurate(t *testing.T) {
+	s, err := NewSquarer(0, Accurate())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []int64{0, 1, -1, 100, -100, 32767, -32768} {
+		if got := s.Process(x); got != x*x {
+			t.Errorf("Square(%d) = %d, want %d", x, got, x*x)
+		}
+	}
+}
+
+func TestSquarerNonNegativeUnderApproximation(t *testing.T) {
+	// The sign-magnitude squarer never goes negative, approximated or not.
+	s, err := NewSquarer(0, ArithConfig{LSBs: 8, Add: approx.ApproxAdd5, Mul: approx.AppMultV2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 2000; i++ {
+		x := int64(int16(rng.Uint64()))
+		if got := s.Process(x); got < 0 {
+			t.Fatalf("Square(%d) = %d < 0", x, got)
+		}
+	}
+}
+
+func TestSquarerValidation(t *testing.T) {
+	if _, err := NewSquarer(-1, Accurate()); err == nil {
+		t.Error("negative shift accepted")
+	}
+	if _, err := NewSquarer(31, Accurate()); err != nil {
+		t.Errorf("shift 31 rejected: %v", err)
+	}
+	if _, err := NewSquarer(2*SampleWidth, Accurate()); err == nil {
+		t.Error("oversized shift accepted")
+	}
+}
+
+func TestQuickFIRLinearityAccurate(t *testing.T) {
+	// Property: the accurate FIR is linear: F(a+b) == F(a)+F(b) for
+	// small inputs (no accumulator overflow).
+	coeffs := []int64{1, -2, 3}
+	f1, _ := NewFIR(coeffs, 0, Accurate())
+	f2, _ := NewFIR(coeffs, 0, Accurate())
+	f3, _ := NewFIR(coeffs, 0, Accurate())
+	prop := func(raw []int8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		a := make([]int64, len(raw))
+		b := make([]int64, len(raw))
+		sum := make([]int64, len(raw))
+		for i, r := range raw {
+			a[i] = int64(r)
+			b[i] = int64(r) * 2
+			sum[i] = a[i] + b[i]
+		}
+		ya := f1.Filter(a)
+		yb := f2.Filter(b)
+		ys := f3.Filter(sum)
+		for i := range ys {
+			if ys[i] != ya[i]+yb[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestArithConfigString(t *testing.T) {
+	c := ArithConfig{LSBs: 8, Add: approx.ApproxAdd5, Mul: approx.AppMultV1}
+	if got := c.String(); got != "k=8/ApproxAdd5/AppMultV1" {
+		t.Errorf("String = %q", got)
+	}
+}

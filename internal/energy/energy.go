@@ -1,0 +1,219 @@
+// Package energy implements XBioSiP's energy models:
+//
+//   - per-stage and whole-pipeline energy of the Pan-Tompkins processing
+//     units, computed from optimised stage netlists with stimulus-based
+//     switching activity (the "Implementation & Energy Characterization of
+//     Designs" box of the methodology, paper Fig 4);
+//   - the bio-signal sensor-node energy breakdown behind the paper's
+//     motivational Fig 1;
+//   - the Raspberry Pi 3 B+ software reference point (configuration A1 of
+//     Fig 12), modelled ~7 orders of magnitude above the ASIC design.
+//
+// Energy figures are per processed sample (fJ). Reductions are always
+// quoted against the accurate configuration of the same unit, matching the
+// paper's reporting.
+package energy
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/xbiosip/xbiosip/internal/dsp"
+	"github.com/xbiosip/xbiosip/internal/ecg"
+	"github.com/xbiosip/xbiosip/internal/netlist"
+	"github.com/xbiosip/xbiosip/internal/pantompkins"
+	"github.com/xbiosip/xbiosip/internal/synth"
+)
+
+// Stimulus carries the per-stage input signals used for switching-activity
+// analysis: each stage is driven by the signal it actually sees in the
+// accurate pipeline over a reference record.
+type Stimulus struct {
+	inputs [pantompkins.NumStages][]int64
+}
+
+// NewStimulus runs the accurate pipeline over the record and captures each
+// stage's input signal.
+func NewStimulus(rec *ecg.Record) (*Stimulus, error) {
+	p, err := pantompkins.New(pantompkins.AccurateConfig())
+	if err != nil {
+		return nil, err
+	}
+	out := p.Run(rec.Samples)
+	raw := make([]int64, len(rec.Samples))
+	for i, s := range rec.Samples {
+		raw[i] = int64(s)
+	}
+	st := &Stimulus{}
+	st.inputs[pantompkins.LPF] = raw
+	st.inputs[pantompkins.HPF] = out.LowPassed
+	st.inputs[pantompkins.DER] = out.Filtered
+	st.inputs[pantompkins.SQR] = out.Derivative
+	st.inputs[pantompkins.MWI] = out.Squared
+	return st, nil
+}
+
+// Model computes stage and pipeline energy with caching: the design-space
+// exploration re-evaluates the same stage configurations many times.
+type Model struct {
+	stim *Stimulus
+	// Vectors is the number of consecutive stimulus samples applied to
+	// each stage netlist during activity analysis.
+	Vectors int
+	// Warmup skips initial samples (filter settling) before stimulus.
+	Warmup int
+
+	mu    sync.Mutex
+	cache map[stageKey]synth.Report
+}
+
+type stageKey struct {
+	stage pantompkins.Stage
+	cfg   dsp.ArithConfig
+}
+
+// DefaultVectors is enough stimulus to cover several heartbeats at 200 Hz.
+const DefaultVectors = 600
+
+// NewModel builds an energy model over the given stimulus.
+func NewModel(stim *Stimulus) *Model {
+	return &Model{stim: stim, Vectors: DefaultVectors, Warmup: 100, cache: make(map[stageKey]synth.Report)}
+}
+
+// stageVectors builds simulator input vectors for one stage: consecutive
+// sliding windows of the stage's stimulus signal across the tap ports
+// x0..xN-1 (or the single port for the squarer). Values enter the
+// magnitude-style datapath masked to the port width.
+func (m *Model) stageVectors(s pantompkins.Stage, n *netlist.Netlist) ([]map[string]uint64, error) {
+	sig := m.stim.inputs[s]
+	need := m.Warmup + m.Vectors + pantompkins.MWIWindow + 40
+	if len(sig) < need {
+		return nil, fmt.Errorf("energy: stimulus too short for stage %v: %d < %d", s, len(sig), need)
+	}
+	vectors := make([]map[string]uint64, m.Vectors)
+	for v := range vectors {
+		t := m.Warmup + pantompkins.MWIWindow + v
+		vec := make(map[string]uint64, len(n.Inputs))
+		for _, p := range n.Inputs {
+			var idx int
+			if _, err := fmt.Sscanf(p.Name, "x%d", &idx); err != nil {
+				return nil, fmt.Errorf("energy: unexpected stage port %q", p.Name)
+			}
+			x := sig[t-idx]
+			if x < 0 {
+				x = -x
+			}
+			vec[p.Name] = uint64(x) & ((1 << len(p.Bits)) - 1)
+		}
+		vectors[v] = vec
+	}
+	return vectors, nil
+}
+
+// stageNetlist builds the combinational variant of a stage for simulation.
+func stageNetlist(s pantompkins.Stage, cfg dsp.ArithConfig) (*netlist.Netlist, error) {
+	n, err := pantompkins.StageNetlistCombinational(s, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return netlist.Optimize(n, nil)
+}
+
+// StageReport returns the synthesis report (area, activity-weighted power,
+// delay, energy) of one stage configuration.
+func (m *Model) StageReport(s pantompkins.Stage, cfg dsp.ArithConfig) (synth.Report, error) {
+	key := stageKey{s, cfg}
+	m.mu.Lock()
+	if r, ok := m.cache[key]; ok {
+		m.mu.Unlock()
+		return r, nil
+	}
+	m.mu.Unlock()
+
+	n, err := stageNetlist(s, cfg)
+	if err != nil {
+		return synth.Report{}, err
+	}
+	vectors, err := m.stageVectors(s, n)
+	if err != nil {
+		return synth.Report{}, err
+	}
+	r, err := synth.AnalyzeActivity(n, vectors)
+	if err != nil {
+		return synth.Report{}, err
+	}
+	m.mu.Lock()
+	m.cache[key] = r
+	m.mu.Unlock()
+	return r, nil
+}
+
+// StageEnergy returns the per-operation energy (fJ) of one stage
+// configuration.
+func (m *Model) StageEnergy(s pantompkins.Stage, cfg dsp.ArithConfig) (float64, error) {
+	r, err := m.StageReport(s, cfg)
+	if err != nil {
+		return 0, err
+	}
+	return r.Energy, nil
+}
+
+// StageReduction returns the energy reduction factor of one approximated
+// stage versus its accurate baseline.
+func (m *Model) StageReduction(s pantompkins.Stage, cfg dsp.ArithConfig) (synth.Reduction, error) {
+	base, err := m.StageReport(s, dsp.Accurate())
+	if err != nil {
+		return synth.Reduction{}, err
+	}
+	app, err := m.StageReport(s, cfg)
+	if err != nil {
+		return synth.Reduction{}, err
+	}
+	return synth.Reductions(base, app), nil
+}
+
+// PipelineEnergy returns the total per-sample energy (fJ) of a full
+// Pan-Tompkins configuration (sum over the five stages).
+func (m *Model) PipelineEnergy(cfg pantompkins.Config) (float64, error) {
+	total := 0.0
+	for _, s := range pantompkins.Stages {
+		e, err := m.StageEnergy(s, cfg.Stage[s])
+		if err != nil {
+			return 0, err
+		}
+		total += e
+	}
+	return total, nil
+}
+
+// PipelineReduction returns the end-to-end energy reduction of cfg versus
+// the accurate pipeline (the paper's Fig 12 y-axis).
+func (m *Model) PipelineReduction(cfg pantompkins.Config) (float64, error) {
+	base, err := m.PipelineEnergy(pantompkins.AccurateConfig())
+	if err != nil {
+		return 0, err
+	}
+	app, err := m.PipelineEnergy(cfg)
+	if err != nil {
+		return 0, err
+	}
+	if app == 0 {
+		return 0, fmt.Errorf("energy: approximate pipeline energy is zero")
+	}
+	return base / app, nil
+}
+
+// RaspberryPiEnergyFactor scales the accurate ASIC design's energy to the
+// paper's Raspberry Pi 3 B+ software baseline (configuration A1): "~7
+// orders of magnitude higher" (paper §6.2).
+const RaspberryPiEnergyFactor = 1e7
+
+// RaspberryPiEnergy returns the modelled per-sample energy (fJ) of the
+// software implementation on the Raspberry Pi 3 B+ (HDMI and WiFi off).
+func (m *Model) RaspberryPiEnergy() (float64, error) {
+	base, err := m.PipelineEnergy(pantompkins.AccurateConfig())
+	if err != nil {
+		return 0, err
+	}
+	return base * RaspberryPiEnergyFactor, nil
+}

@@ -1,0 +1,192 @@
+package energy
+
+import (
+	"math"
+	"testing"
+
+	"github.com/xbiosip/xbiosip/internal/approx"
+	"github.com/xbiosip/xbiosip/internal/dsp"
+	"github.com/xbiosip/xbiosip/internal/ecg"
+	"github.com/xbiosip/xbiosip/internal/pantompkins"
+)
+
+func model(t *testing.T) *Model {
+	t.Helper()
+	rec, err := ecg.NSRDBRecord(0, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stim, err := NewStimulus(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewModel(stim)
+	m.Vectors = 200 // keep tests fast
+	return m
+}
+
+func ama5(k int) dsp.ArithConfig {
+	return dsp.ArithConfig{LSBs: k, Add: approx.ApproxAdd5, Mul: approx.AppMultV1}
+}
+
+func TestStageEnergyPositive(t *testing.T) {
+	m := model(t)
+	for _, s := range pantompkins.Stages {
+		e, err := m.StageEnergy(s, dsp.Accurate())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e <= 0 {
+			t.Errorf("stage %v accurate energy %v, want > 0", s, e)
+		}
+	}
+}
+
+func TestApproximationReducesStageEnergy(t *testing.T) {
+	m := model(t)
+	for _, s := range []pantompkins.Stage{pantompkins.LPF, pantompkins.HPF, pantompkins.MWI} {
+		base, err := m.StageEnergy(s, dsp.Accurate())
+		if err != nil {
+			t.Fatal(err)
+		}
+		app, err := m.StageEnergy(s, ama5(pantompkins.MaxLSBs[s]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !(app < base) {
+			t.Errorf("stage %v: approximated energy %v not below accurate %v", s, app, base)
+		}
+	}
+}
+
+func TestStageEnergyMonotoneForMWI(t *testing.T) {
+	// The MWI stage has no constant-folding oddities: its energy must
+	// decrease monotonically with k.
+	m := model(t)
+	prev := math.Inf(1)
+	for k := 0; k <= 16; k += 4 {
+		e, err := m.StageEnergy(pantompkins.MWI, ama5(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e >= prev {
+			t.Errorf("MWI energy at k=%d (%v) not below k-4 (%v)", k, e, prev)
+		}
+		prev = e
+	}
+}
+
+func TestPipelineEnergyIsSumOfStages(t *testing.T) {
+	m := model(t)
+	cfg := pantompkins.AccurateConfig()
+	total, err := m.PipelineEnergy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, s := range pantompkins.Stages {
+		e, err := m.StageEnergy(s, cfg.Stage[s])
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += e
+	}
+	if math.Abs(total-sum) > 1e-9 {
+		t.Errorf("pipeline %v != sum of stages %v", total, sum)
+	}
+}
+
+func TestPipelineReductionAccurateIsOne(t *testing.T) {
+	m := model(t)
+	red, err := m.PipelineReduction(pantompkins.AccurateConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(red-1) > 1e-9 {
+		t.Errorf("accurate reduction = %v, want 1", red)
+	}
+}
+
+func TestB9ReductionInPaperBand(t *testing.T) {
+	// The paper reports ~19.7x for B9; our activity-based model must land
+	// in the same order of magnitude (documented in EXPERIMENTS.md).
+	m := model(t)
+	var b9 pantompkins.Config
+	ks := []int{10, 12, 2, 8, 16}
+	for i, s := range pantompkins.Stages {
+		b9.Stage[s] = ama5(ks[i])
+	}
+	red, err := m.PipelineReduction(b9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if red < 3 || red > 60 {
+		t.Errorf("B9 reduction %v outside the plausible band [3, 60]", red)
+	}
+}
+
+func TestStageReportCaching(t *testing.T) {
+	m := model(t)
+	r1, err := m.StageReport(pantompkins.SQR, ama5(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := m.StageReport(pantompkins.SQR, ama5(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Energy != r2.Energy || r1.Power != r2.Power || r1.Delay != r2.Delay {
+		t.Error("cached report differs")
+	}
+}
+
+func TestRaspberryPiSevenOrders(t *testing.T) {
+	m := model(t)
+	rpi, err := m.RaspberryPiEnergy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := m.PipelineEnergy(pantompkins.AccurateConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rpi/base-RaspberryPiEnergyFactor) > 1 {
+		t.Errorf("RPi factor %v, want %v", rpi/base, RaspberryPiEnergyFactor)
+	}
+}
+
+func TestStimulusTooShort(t *testing.T) {
+	rec, err := ecg.NSRDBRecord(0, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stim, err := NewStimulus(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewModel(stim)
+	m.Vectors = 100000 // longer than the record
+	if _, err := m.StageEnergy(pantompkins.LPF, dsp.Accurate()); err == nil {
+		t.Error("oversized vector request accepted")
+	}
+}
+
+func TestSensorNodes(t *testing.T) {
+	nodes := SensorNodes()
+	if len(nodes) != 5 {
+		t.Fatalf("want 5 sensor nodes, got %d", len(nodes))
+	}
+	for _, n := range nodes {
+		// Paper Fig 1: sensing energy at least six orders of magnitude
+		// below total; processing 40-60% of total.
+		if n.SensingToTotalOrders() < 5 {
+			t.Errorf("%s: sensing only %v orders below total", n.Name, n.SensingToTotalOrders())
+		}
+		if n.ProcessingShare < 0.4 || n.ProcessingShare > 0.6 {
+			t.Errorf("%s: processing share %v outside 40-60%%", n.Name, n.ProcessingShare)
+		}
+		if n.ProcessingJPerDay() <= 0 {
+			t.Errorf("%s: non-positive processing energy", n.Name)
+		}
+	}
+}

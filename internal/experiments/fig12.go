@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/xbiosip/xbiosip/internal/pantompkins"
+)
+
+// HardwareConfig is one bar of the paper's Fig 12: a named per-stage LSB
+// assignment (LPF, HPF, DER, SQR, MWI).
+type HardwareConfig struct {
+	Name string
+	LSBs [pantompkins.NumStages]int
+}
+
+// Fig12Configs lists the paper's hardware configurations A2 and B1-B14
+// exactly as tabulated in the figure (A1, the Raspberry Pi software
+// baseline, is handled separately since it is not an LSB assignment).
+var Fig12Configs = []HardwareConfig{
+	{Name: "A2", LSBs: [5]int{0, 0, 0, 0, 0}},
+	{Name: "B1", LSBs: [5]int{10, 8, 0, 0, 0}},
+	{Name: "B2", LSBs: [5]int{10, 12, 0, 0, 0}},
+	{Name: "B3", LSBs: [5]int{12, 8, 0, 0, 0}},
+	{Name: "B4", LSBs: [5]int{12, 12, 0, 0, 0}},
+	{Name: "B5", LSBs: [5]int{0, 0, 2, 8, 16}},
+	{Name: "B6", LSBs: [5]int{0, 0, 4, 8, 16}},
+	{Name: "B7", LSBs: [5]int{10, 8, 2, 8, 16}},
+	{Name: "B8", LSBs: [5]int{10, 8, 4, 8, 16}},
+	{Name: "B9", LSBs: [5]int{10, 12, 2, 8, 16}},
+	{Name: "B10", LSBs: [5]int{10, 12, 4, 8, 16}},
+	{Name: "B11", LSBs: [5]int{12, 8, 2, 8, 16}},
+	{Name: "B12", LSBs: [5]int{12, 8, 4, 8, 16}},
+	{Name: "B13", LSBs: [5]int{12, 12, 2, 8, 16}},
+	{Name: "B14", LSBs: [5]int{12, 12, 4, 8, 16}},
+}
+
+// Fig12Row is the evaluated outcome of one hardware configuration.
+type Fig12Row struct {
+	Config          HardwareConfig
+	Accuracy        float64
+	PSNR            float64
+	EnergyReduction float64
+	EnergyFJ        float64
+}
+
+// Fig12 evaluates every hardware configuration's peak detection accuracy
+// and end-to-end energy reduction (paper Fig 12; B9 is the paper's
+// headline ~19.7x at 0% loss, B10 ~22x at <1% loss).
+func (s *Setup) Fig12() ([]Fig12Row, error) {
+	var rows []Fig12Row
+	for _, hc := range Fig12Configs {
+		cfg := s.Config(hc.LSBs)
+		q, err := s.Eval.Evaluate(cfg)
+		if err != nil {
+			return nil, err
+		}
+		red, err := s.Energy.PipelineReduction(cfg)
+		if err != nil {
+			return nil, err
+		}
+		e, err := s.Energy.PipelineEnergy(cfg)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Fig12Row{Config: hc, Accuracy: q.PeakAccuracy, PSNR: q.PSNR, EnergyReduction: red, EnergyFJ: e})
+	}
+	return rows, nil
+}
+
+// FormatFig12 renders the energy-quality table, including the A1 software
+// reference.
+func (s *Setup) FormatFig12(rows []Fig12Row) (string, error) {
+	var sb strings.Builder
+	sb.WriteString("Fig 12: energy-quality evaluation of the approximate designs\n")
+	rpi, err := s.Energy.RaspberryPiEnergy()
+	if err != nil {
+		return "", err
+	}
+	a2, err := s.Energy.PipelineEnergy(pantompkins.AccurateConfig())
+	if err != nil {
+		return "", err
+	}
+	fmt.Fprintf(&sb, "%-5s %-24s %10s %12s %14s\n", "cfg", "LSBs LPF/HPF/DER/SQR/MWI", "accuracy", "energy[fJ]", "reduction")
+	fmt.Fprintf(&sb, "%-5s %-24s %10s %12.3e %14s\n", "A1", "Raspberry Pi 3 B+ (SW)", "100.00%", rpi,
+		fmt.Sprintf("%.1e x", a2/rpi))
+	for _, r := range rows {
+		ks := r.Config.LSBs
+		lsbs := fmt.Sprintf("%d/%d/%d/%d/%d", ks[0], ks[1], ks[2], ks[3], ks[4])
+		fmt.Fprintf(&sb, "%-5s %-24s %9.2f%% %12.1f %13.2fx\n",
+			r.Config.Name, lsbs, 100*r.Accuracy, r.EnergyFJ, r.EnergyReduction)
+	}
+	fmt.Fprintf(&sb, "A1 energy is ~%.0f orders of magnitude above A2 (paper: ~7)\n", orders(rpi/a2))
+	return sb.String(), nil
+}
+
+func orders(ratio float64) float64 {
+	n := 0.0
+	for ratio >= 10 {
+		ratio /= 10
+		n++
+	}
+	return n
+}

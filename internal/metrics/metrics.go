@@ -1,0 +1,185 @@
+// Package metrics implements the three quality measures XBioSiP's
+// two-stage evaluation uses (paper §4): PSNR and SSIM for the intermediate
+// pre-processed signal, and peak-detection accuracy (reference-matched
+// within a tolerance window) for the final application output.
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// PSNR returns the peak signal-to-noise ratio of sig against ref in dB,
+// with the peak taken as the maximum absolute value of the reference
+// (the convention used for bipolar bio-signals). It returns +Inf for
+// identical signals.
+func PSNR(ref, sig []float64) (float64, error) {
+	if len(ref) != len(sig) {
+		return 0, fmt.Errorf("metrics: PSNR length mismatch %d vs %d", len(ref), len(sig))
+	}
+	if len(ref) == 0 {
+		return 0, fmt.Errorf("metrics: PSNR of empty signals")
+	}
+	var peak, mse float64
+	for i := range ref {
+		if a := math.Abs(ref[i]); a > peak {
+			peak = a
+		}
+		d := ref[i] - sig[i]
+		mse += d * d
+	}
+	mse /= float64(len(ref))
+	if mse == 0 {
+		return math.Inf(1), nil
+	}
+	if peak == 0 {
+		return 0, fmt.Errorf("metrics: PSNR reference is identically zero")
+	}
+	return 10 * math.Log10(peak*peak/mse), nil
+}
+
+// SSIMWindow is the default sliding-window length for the 1-D SSIM,
+// roughly a third of a second at the paper's 200 Hz sampling rate.
+const SSIMWindow = 64
+
+// SSIM returns the mean structural similarity index between ref and sig
+// over sliding windows (1-D adaptation of the standard image metric; the
+// paper uses SSIM to grade the pre-processed signal). The dynamic range L
+// is taken from the reference; the standard constants C1=(0.01L)^2 and
+// C2=(0.03L)^2 stabilise the ratio.
+func SSIM(ref, sig []float64, window int) (float64, error) {
+	if len(ref) != len(sig) {
+		return 0, fmt.Errorf("metrics: SSIM length mismatch %d vs %d", len(ref), len(sig))
+	}
+	if window < 2 {
+		return 0, fmt.Errorf("metrics: SSIM window %d too small", window)
+	}
+	if len(ref) < window {
+		return 0, fmt.Errorf("metrics: SSIM input shorter than window (%d < %d)", len(ref), window)
+	}
+	lo, hi := ref[0], ref[0]
+	for _, v := range ref {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	l := hi - lo
+	if l == 0 {
+		return 0, fmt.Errorf("metrics: SSIM reference has zero dynamic range")
+	}
+	c1 := (0.01 * l) * (0.01 * l)
+	c2 := (0.03 * l) * (0.03 * l)
+
+	var total float64
+	var count int
+	for start := 0; start+window <= len(ref); start += window / 2 {
+		var mx, my float64
+		for i := start; i < start+window; i++ {
+			mx += ref[i]
+			my += sig[i]
+		}
+		n := float64(window)
+		mx /= n
+		my /= n
+		var vx, vy, cov float64
+		for i := start; i < start+window; i++ {
+			dx, dy := ref[i]-mx, sig[i]-my
+			vx += dx * dx
+			vy += dy * dy
+			cov += dx * dy
+		}
+		vx /= n - 1
+		vy /= n - 1
+		cov /= n - 1
+		s := ((2*mx*my + c1) * (2*cov + c2)) /
+			((mx*mx + my*my + c1) * (vx + vy + c2))
+		total += s
+		count++
+	}
+	return total / float64(count), nil
+}
+
+// MatchResult summarises reference-vs-detected peak matching.
+type MatchResult struct {
+	TruePositives  int
+	FalsePositives int
+	FalseNegatives int
+}
+
+// Sensitivity returns TP / (TP + FN), the fraction of reference peaks
+// found — the paper's "peak detection accuracy".
+func (m MatchResult) Sensitivity() float64 {
+	if m.TruePositives+m.FalseNegatives == 0 {
+		return 1
+	}
+	return float64(m.TruePositives) / float64(m.TruePositives+m.FalseNegatives)
+}
+
+// PPV returns TP / (TP + FP), positive predictive value.
+func (m MatchResult) PPV() float64 {
+	if m.TruePositives+m.FalsePositives == 0 {
+		return 1
+	}
+	return float64(m.TruePositives) / float64(m.TruePositives+m.FalsePositives)
+}
+
+// F1 returns the harmonic mean of sensitivity and PPV.
+func (m MatchResult) F1() float64 {
+	se, ppv := m.Sensitivity(), m.PPV()
+	if se+ppv == 0 {
+		return 0
+	}
+	return 2 * se * ppv / (se + ppv)
+}
+
+// MatchPeaks greedily matches detected peak indices to reference indices
+// within +-tol samples. Both slices must be sorted ascending. Each
+// reference peak matches at most one detection and vice versa.
+func MatchPeaks(ref, det []int, tol int) (MatchResult, error) {
+	if tol < 0 {
+		return MatchResult{}, fmt.Errorf("metrics: negative tolerance %d", tol)
+	}
+	for i := 1; i < len(ref); i++ {
+		if ref[i] < ref[i-1] {
+			return MatchResult{}, fmt.Errorf("metrics: reference peaks not sorted at %d", i)
+		}
+	}
+	for i := 1; i < len(det); i++ {
+		if det[i] < det[i-1] {
+			return MatchResult{}, fmt.Errorf("metrics: detected peaks not sorted at %d", i)
+		}
+	}
+	var res MatchResult
+	i, j := 0, 0
+	for i < len(ref) && j < len(det) {
+		d := det[j] - ref[i]
+		switch {
+		case d < -tol:
+			res.FalsePositives++
+			j++
+		case d > tol:
+			res.FalseNegatives++
+			i++
+		default:
+			res.TruePositives++
+			i++
+			j++
+		}
+	}
+	res.FalseNegatives += len(ref) - i
+	res.FalsePositives += len(det) - j
+	return res, nil
+}
+
+// ToFloat converts an integer signal to float64 for the floating-point
+// metrics.
+func ToFloat[T int16 | int32 | int64 | int](xs []T) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = float64(x)
+	}
+	return out
+}

@@ -1,0 +1,236 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPSNRIdenticalSignals(t *testing.T) {
+	sig := []float64{1, -2, 3, -4}
+	p, err := PSNR(sig, sig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(p, 1) {
+		t.Errorf("PSNR of identical signals = %v, want +Inf", p)
+	}
+}
+
+func TestPSNRKnownValue(t *testing.T) {
+	ref := []float64{10, 10, 10, 10}
+	sig := []float64{11, 9, 11, 9} // MSE 1, peak 10 -> 20 dB
+	p, err := PSNR(ref, sig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-20) > 1e-9 {
+		t.Errorf("PSNR = %v, want 20", p)
+	}
+}
+
+func TestPSNRDecreasesWithNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ref := make([]float64, 1000)
+	for i := range ref {
+		ref[i] = 100 * math.Sin(float64(i)/10)
+	}
+	prev := math.Inf(1)
+	for _, amp := range []float64{0.1, 1, 10, 100} {
+		sig := make([]float64, len(ref))
+		for i := range sig {
+			sig[i] = ref[i] + amp*rng.NormFloat64()
+		}
+		p, err := PSNR(ref, sig)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p >= prev {
+			t.Errorf("PSNR did not decrease with noise amplitude %v: %v >= %v", amp, p, prev)
+		}
+		prev = p
+	}
+}
+
+func TestPSNRErrors(t *testing.T) {
+	if _, err := PSNR([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := PSNR(nil, nil); err == nil {
+		t.Error("empty signals accepted")
+	}
+	if _, err := PSNR([]float64{0, 0}, []float64{1, 1}); err == nil {
+		t.Error("zero reference accepted")
+	}
+}
+
+func TestSSIMIdenticalSignalsIsOne(t *testing.T) {
+	sig := make([]float64, 500)
+	for i := range sig {
+		sig[i] = math.Sin(float64(i) / 7)
+	}
+	s, err := SSIM(sig, sig, SSIMWindow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s-1) > 1e-9 {
+		t.Errorf("SSIM(x,x) = %v, want 1", s)
+	}
+}
+
+func TestSSIMDegradesWithDistortion(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ref := make([]float64, 2000)
+	for i := range ref {
+		ref[i] = 50 * math.Sin(float64(i)/9)
+	}
+	prev := 1.0
+	for _, amp := range []float64{1, 10, 50} {
+		sig := make([]float64, len(ref))
+		for i := range sig {
+			sig[i] = ref[i] + amp*rng.NormFloat64()
+		}
+		s, err := SSIM(ref, sig, SSIMWindow)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s >= prev {
+			t.Errorf("SSIM did not degrade at noise %v: %v >= %v", amp, s, prev)
+		}
+		if s < -1 || s > 1 {
+			t.Errorf("SSIM %v outside [-1,1]", s)
+		}
+		prev = s
+	}
+}
+
+func TestSSIMErrors(t *testing.T) {
+	sig := make([]float64, 100)
+	if _, err := SSIM(sig, sig[:99], SSIMWindow); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := SSIM(sig, sig, 1); err == nil {
+		t.Error("tiny window accepted")
+	}
+	if _, err := SSIM(sig[:10], sig[:10], SSIMWindow); err == nil {
+		t.Error("input shorter than window accepted")
+	}
+	if _, err := SSIM(sig, sig, SSIMWindow); err == nil {
+		t.Error("zero-dynamic-range reference accepted")
+	}
+}
+
+func TestMatchPeaksExact(t *testing.T) {
+	m, err := MatchPeaks([]int{100, 200, 300}, []int{100, 200, 300}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.TruePositives != 3 || m.FalsePositives != 0 || m.FalseNegatives != 0 {
+		t.Errorf("exact match: %+v", m)
+	}
+	if m.Sensitivity() != 1 || m.PPV() != 1 || m.F1() != 1 {
+		t.Errorf("perfect metrics expected, got Se=%v PPV=%v F1=%v", m.Sensitivity(), m.PPV(), m.F1())
+	}
+}
+
+func TestMatchPeaksWithinTolerance(t *testing.T) {
+	m, err := MatchPeaks([]int{100, 200}, []int{104, 196}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.TruePositives != 2 {
+		t.Errorf("tolerance matching failed: %+v", m)
+	}
+}
+
+func TestMatchPeaksMissesAndFalseAlarms(t *testing.T) {
+	// ref 100 matched; ref 200 missed; det 400 is a false alarm.
+	m, err := MatchPeaks([]int{100, 200}, []int{101, 400}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.TruePositives != 1 || m.FalseNegatives != 1 || m.FalsePositives != 1 {
+		t.Errorf("got %+v", m)
+	}
+	if math.Abs(m.Sensitivity()-0.5) > 1e-12 {
+		t.Errorf("sensitivity %v, want 0.5", m.Sensitivity())
+	}
+}
+
+func TestMatchPeaksEmptyInputs(t *testing.T) {
+	m, err := MatchPeaks(nil, nil, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Sensitivity() != 1 || m.PPV() != 1 {
+		t.Errorf("vacuous metrics should be 1: %+v", m)
+	}
+	m, _ = MatchPeaks([]int{10}, nil, 5)
+	if m.FalseNegatives != 1 {
+		t.Errorf("missing detection not counted: %+v", m)
+	}
+	m, _ = MatchPeaks(nil, []int{10}, 5)
+	if m.FalsePositives != 1 {
+		t.Errorf("spurious detection not counted: %+v", m)
+	}
+}
+
+func TestMatchPeaksValidation(t *testing.T) {
+	if _, err := MatchPeaks([]int{2, 1}, nil, 5); err == nil {
+		t.Error("unsorted reference accepted")
+	}
+	if _, err := MatchPeaks(nil, []int{2, 1}, 5); err == nil {
+		t.Error("unsorted detections accepted")
+	}
+	if _, err := MatchPeaks(nil, nil, -1); err == nil {
+		t.Error("negative tolerance accepted")
+	}
+}
+
+func TestQuickMatchPeaksConservation(t *testing.T) {
+	// Property: TP+FN == len(ref) and TP+FP == len(det).
+	f := func(refRaw, detRaw []uint16) bool {
+		ref := dedupSort(refRaw)
+		det := dedupSort(detRaw)
+		m, err := MatchPeaks(ref, det, 3)
+		if err != nil {
+			return false
+		}
+		return m.TruePositives+m.FalseNegatives == len(ref) &&
+			m.TruePositives+m.FalsePositives == len(det)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func dedupSort(xs []uint16) []int {
+	seen := make(map[int]bool)
+	var out []int
+	for _, x := range xs {
+		if !seen[int(x)] {
+			seen[int(x)] = true
+			out = append(out, int(x))
+		}
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func TestToFloat(t *testing.T) {
+	got := ToFloat([]int16{-1, 0, 32767})
+	want := []float64{-1, 0, 32767}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("ToFloat[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if len(ToFloat([]int64{})) != 0 {
+		t.Error("empty conversion")
+	}
+}

@@ -1,0 +1,239 @@
+package netlist
+
+import (
+	"fmt"
+
+	"github.com/xbiosip/xbiosip/internal/approx"
+	"github.com/xbiosip/xbiosip/internal/arith"
+)
+
+// Builder constructs netlists cell by cell, guaranteeing topological order
+// and single drivers by construction.
+type Builder struct {
+	n        *Netlist
+	invCache map[Net]Net
+	err      error
+}
+
+// NewBuilder returns a Builder for a netlist with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{
+		n:        &Netlist{Name: name, NumNets: numReservedNets},
+		invCache: make(map[Net]Net),
+	}
+}
+
+// fail records the first construction error; Build reports it.
+func (b *Builder) fail(format string, args ...any) {
+	if b.err == nil {
+		b.err = fmt.Errorf("netlist %s: %s", b.n.Name, fmt.Sprintf(format, args...))
+	}
+}
+
+func (b *Builder) newNet() Net {
+	n := Net(b.n.NumNets)
+	b.n.NumNets++
+	return n
+}
+
+func (b *Builder) newBus(width int) Bus {
+	bus := make(Bus, width)
+	for i := range bus {
+		bus[i] = b.newNet()
+	}
+	return bus
+}
+
+// InputBus declares a named input port of the given width and returns its
+// nets (LSB first).
+func (b *Builder) InputBus(name string, width int) Bus {
+	bus := b.newBus(width)
+	b.n.Inputs = append(b.n.Inputs, Port{Name: name, Bits: bus})
+	return bus
+}
+
+// OutputBus declares a named output port connected to the given bus.
+func (b *Builder) OutputBus(name string, bus Bus) {
+	b.n.Outputs = append(b.n.Outputs, Port{Name: name, Bits: append(Bus(nil), bus...)})
+}
+
+// ConstBus returns a bus of constant nets holding value (LSB first).
+func (b *Builder) ConstBus(value uint64, width int) Bus {
+	bus := make(Bus, width)
+	for i := range bus {
+		if value>>i&1 == 1 {
+			bus[i] = Const1
+		} else {
+			bus[i] = Const0
+		}
+	}
+	return bus
+}
+
+// Extend returns the bus widened to width bits with Const0 fill (zero
+// extension, free wiring).
+func (b *Builder) Extend(bus Bus, width int) Bus {
+	if len(bus) >= width {
+		return bus[:width]
+	}
+	out := make(Bus, width)
+	copy(out, bus)
+	for i := len(bus); i < width; i++ {
+		out[i] = Const0
+	}
+	return out
+}
+
+// ShiftLeft returns the bus shifted left by n bits with Const0 fill (free
+// wiring). The result is n bits wider.
+func (b *Builder) ShiftLeft(bus Bus, n int) Bus {
+	out := make(Bus, n+len(bus))
+	for i := 0; i < n; i++ {
+		out[i] = Const0
+	}
+	copy(out[n:], bus)
+	return out
+}
+
+// Not instantiates (or reuses) an inverter on net x.
+func (b *Builder) Not(x Net) Net {
+	if x == Const0 {
+		return Const1
+	}
+	if x == Const1 {
+		return Const0
+	}
+	if y, ok := b.invCache[x]; ok {
+		return y
+	}
+	y := b.newNet()
+	b.n.Cells = append(b.n.Cells, Cell{Kind: CellInv, In: []Net{x}, Out: []Net{y}})
+	b.invCache[x] = y
+	return y
+}
+
+// NotBus inverts every bit of the bus.
+func (b *Builder) NotBus(bus Bus) Bus {
+	out := make(Bus, len(bus))
+	for i, x := range bus {
+		out[i] = b.Not(x)
+	}
+	return out
+}
+
+// FullAdder instantiates one full-adder cell of the given kind.
+func (b *Builder) FullAdder(kind approx.AdderKind, a, bb, cin Net) (sum, cout Net) {
+	sum, cout = b.newNet(), b.newNet()
+	b.n.Cells = append(b.n.Cells, Cell{
+		Kind: CellFA, Add: kind,
+		In:  []Net{a, bb, cin},
+		Out: []Net{sum, cout},
+	})
+	return sum, cout
+}
+
+// Mult2 instantiates one elementary 2x2 multiplier cell of the given kind.
+func (b *Builder) Mult2(kind approx.MultKind, a0, a1, b0, b1 Net) Bus {
+	out := b.newBus(4)
+	b.n.Cells = append(b.n.Cells, Cell{
+		Kind: CellMult2, Mul: kind,
+		In:  []Net{a0, a1, b0, b1},
+		Out: append([]Net(nil), out...),
+	})
+	return out
+}
+
+// Register instantiates a DFF on every bit of the bus.
+func (b *Builder) Register(bus Bus) Bus {
+	out := make(Bus, len(bus))
+	for i, d := range bus {
+		q := b.newNet()
+		b.n.Cells = append(b.n.Cells, Cell{Kind: CellReg, In: []Net{d}, Out: []Net{q}})
+		out[i] = q
+	}
+	return out
+}
+
+// RCAAt builds a ripple-carry adder over equal-width buses whose cell at
+// relative bit i sits at absolute datapath position offset+i; cells at
+// positions below k use the approximate kind, the rest are accurate (paper
+// Fig 6). It returns the sum bus and the carry out of the final cell.
+func (b *Builder) RCAAt(kind approx.AdderKind, k, offset int, a, bb Bus, cin Net) (Bus, Net) {
+	if len(a) != len(bb) {
+		b.fail("RCA operand widths differ: %d vs %d", len(a), len(bb))
+		return b.newBus(len(a)), Const0
+	}
+	sum := make(Bus, len(a))
+	c := cin
+	for i := range a {
+		cellKind := approx.AccAdd
+		if offset+i < k {
+			cellKind = kind
+		}
+		sum[i], c = b.FullAdder(cellKind, a[i], bb[i], c)
+	}
+	return sum, c
+}
+
+// RCA builds a ripple-carry adder anchored at datapath position 0.
+func (b *Builder) RCA(kind approx.AdderKind, k int, a, bb Bus, cin Net) (Bus, Net) {
+	return b.RCAAt(kind, k, 0, a, bb, cin)
+}
+
+// Subtract builds a - bb as a + NOT bb + 1 on the same ripple-carry
+// structure (inverters are exact wiring; the approximation lives in the
+// chain cells).
+func (b *Builder) Subtract(kind approx.AdderKind, k int, a, bb Bus) Bus {
+	s, _ := b.RCA(kind, k, a, b.NotBus(bb), Const1)
+	return s
+}
+
+// Multiplier builds the recursive multiplier structure of spec m (paper
+// Fig 7) over equal-width operand buses and returns the 2*Width product
+// bus. The structure mirrors arith.Multiplier bit for bit: an elementary
+// 2x2 cell at output offset p is the approximate kind iff p+4 <= k, and
+// accumulation-adder cells at output positions below k are approximate.
+func (b *Builder) Multiplier(m arith.Multiplier, a, bb Bus) Bus {
+	if err := m.Validate(); err != nil {
+		b.fail("multiplier spec: %v", err)
+		return b.newBus(2 * len(a))
+	}
+	if len(a) != m.Width || len(bb) != m.Width {
+		b.fail("multiplier operand widths %d/%d, want %d", len(a), len(bb), m.Width)
+		return b.newBus(2 * m.Width)
+	}
+	return b.mulRec(m, a, bb, 0)
+}
+
+func (b *Builder) mulRec(m arith.Multiplier, a, bb Bus, off int) Bus {
+	w := len(a)
+	if w == 2 {
+		kind := m.Mult
+		if off+4 > m.ApproxLSBs {
+			kind = approx.AccMult
+		}
+		return b.Mult2(kind, a[0], a[1], bb[0], bb[1])
+	}
+	h := w / 2
+	ll := b.mulRec(m, a[:h], bb[:h], off)
+	hl := b.mulRec(m, a[h:], bb[:h], off+h)
+	lh := b.mulRec(m, a[:h], bb[h:], off+h)
+	hh := b.mulRec(m, a[h:], bb[h:], off+2*h)
+	// Three accumulation adders, anchored at the offsets their cells
+	// occupy in the product (the top level uses 2N-bit adders, paper §4.1).
+	mid, _ := b.RCAAt(m.Add, m.ApproxLSBs, off+h, b.Extend(hl, 2*h+1), b.Extend(lh, 2*h+1), Const0)
+	s, _ := b.RCAAt(m.Add, m.ApproxLSBs, off, b.Extend(ll, 2*w), b.Extend(b.ShiftLeft(mid, h), 2*w), Const0)
+	s, _ = b.RCAAt(m.Add, m.ApproxLSBs, off, s, b.Extend(b.ShiftLeft(hh, w), 2*w), Const0)
+	return s
+}
+
+// Build validates and returns the constructed netlist.
+func (b *Builder) Build() (*Netlist, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if err := b.n.Validate(); err != nil {
+		return nil, err
+	}
+	return b.n, nil
+}

@@ -1,0 +1,22 @@
+// Package netlist provides the cell-level hardware substrate that stands in
+// for the paper's RTL + Synopsys Design Compiler flow (see DESIGN.md §3).
+//
+// A Netlist is a DAG of elementary cell instances — full adders and 2x2
+// multipliers from package approx, plus registers and inverters — connected
+// by single-bit nets. The package offers:
+//
+//   - a Builder with generators for the hardware structures the paper
+//     synthesises: ripple-carry adders with approximated LSBs (Fig 6),
+//     recursive multipliers (Fig 7), FIR stages, moving-window integrators
+//     and the squarer;
+//   - a bit-true Simulator for combinational netlists, used to
+//     cross-validate the word-level behavioural models in package arith
+//     (the Go analogue of the paper's MATLAB-vs-ModelSim loop, Fig 9);
+//   - synthesis-style optimisation passes: constant propagation by partial
+//     evaluation of cell truth tables (this is how multiplications by fixed
+//     FIR coefficients collapse, exactly as a logic synthesiser would fold
+//     them) and dead-cell elimination.
+//
+// Physical reports (area / power / delay / energy) over netlists live in
+// package synth.
+package netlist

@@ -1,0 +1,342 @@
+package netlist
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/xbiosip/xbiosip/internal/approx"
+	"github.com/xbiosip/xbiosip/internal/arith"
+)
+
+func mustBuild(t *testing.T) func(*Netlist, error) *Netlist {
+	return func(n *Netlist, err error) *Netlist {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+}
+
+func mustSim(t *testing.T, n *Netlist) *Simulator {
+	t.Helper()
+	s, err := NewSimulator(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestRCANetlistCrossValidation is the repository's ModelSim-vs-MATLAB
+// loop (paper Fig 9): the RCA netlist simulation must agree bit for bit
+// with the word-level behavioural model for every adder kind and k.
+func TestRCANetlistCrossValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	for _, kind := range approx.AdderKinds {
+		for _, k := range []int{0, 1, 5, 8, 16, 32} {
+			ad := arith.Adder{Width: 32, ApproxLSBs: k, Kind: kind}
+			n := mustBuild(t)(GenRCA("rca32", ad))
+			sim := mustSim(t, n)
+			for i := 0; i < 50; i++ {
+				a := rng.Uint64() & 0xFFFFFFFF
+				b := rng.Uint64() & 0xFFFFFFFF
+				cin := rng.Uint64() & 1
+				out, err := sim.Run(map[string]uint64{"a": a, "b": b, "cin": cin})
+				if err != nil {
+					t.Fatal(err)
+				}
+				wantSum, wantCout := ad.AddCarry(a, b, uint8(cin))
+				if out["sum"] != wantSum || out["cout"] != uint64(wantCout) {
+					t.Fatalf("%v k=%d: netlist (%#x,%d) != behavioural (%#x,%d) for a=%#x b=%#x cin=%d",
+						kind, k, out["sum"], out["cout"], wantSum, wantCout, a, b, cin)
+				}
+			}
+		}
+	}
+}
+
+// TestMultiplierNetlistCrossValidation checks the recursive multiplier
+// netlist against arith.Multiplier for representative configurations.
+func TestMultiplierNetlistCrossValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	configs := []arith.Multiplier{
+		{Width: 4, ApproxLSBs: 0, Mult: approx.AccMult, Add: approx.AccAdd},
+		{Width: 4, ApproxLSBs: 4, Mult: approx.AppMultV1, Add: approx.ApproxAdd5},
+		{Width: 8, ApproxLSBs: 6, Mult: approx.AppMultV2, Add: approx.ApproxAdd3},
+		{Width: 16, ApproxLSBs: 0, Mult: approx.AccMult, Add: approx.AccAdd},
+		{Width: 16, ApproxLSBs: 8, Mult: approx.AppMultV1, Add: approx.ApproxAdd5},
+		{Width: 16, ApproxLSBs: 16, Mult: approx.AppMultV2, Add: approx.ApproxAdd5},
+		{Width: 16, ApproxLSBs: 31, Mult: approx.AppMultV1, Add: approx.ApproxAdd1},
+	}
+	for _, m := range configs {
+		n := mustBuild(t)(GenMultiplier("mult", m))
+		sim := mustSim(t, n)
+		iters := 60
+		if m.Width <= 4 {
+			iters = 256
+		}
+		for i := 0; i < iters; i++ {
+			var a, b uint64
+			if m.Width <= 4 {
+				a, b = uint64(i>>4)&0xF, uint64(i)&0xF
+			} else {
+				a = rng.Uint64() & (1<<m.Width - 1)
+				b = rng.Uint64() & (1<<m.Width - 1)
+			}
+			out, err := sim.Run(map[string]uint64{"a": a, "b": b})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := m.Mul(a, b); out["p"] != want {
+				t.Fatalf("%+v: netlist %d != behavioural %d for %d*%d", m, out["p"], want, a, b)
+			}
+		}
+	}
+}
+
+func TestConstPropPreservesFunction(t *testing.T) {
+	// Binding b to a constant must preserve the function of a bit for bit,
+	// including approximation artefacts.
+	rng := rand.New(rand.NewSource(22))
+	m := arith.Multiplier{Width: 16, ApproxLSBs: 10, Mult: approx.AppMultV1, Add: approx.ApproxAdd5}
+	n := mustBuild(t)(GenMultiplier("constmul", m))
+	for _, coeff := range []uint64{0, 1, 2, 5, 6, 31, 32, 0x7FFF} {
+		opt, err := Optimize(n, map[string]uint64{"b": coeff})
+		if err != nil {
+			t.Fatalf("Optimize(b=%d): %v", coeff, err)
+		}
+		if _, ok := opt.Input("b"); ok {
+			t.Fatalf("bound port b still present after ConstProp")
+		}
+		sim := mustSim(t, opt)
+		for i := 0; i < 100; i++ {
+			a := rng.Uint64() & 0xFFFF
+			out, err := sim.Run(map[string]uint64{"a": a})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := m.Mul(a, coeff); out["p"] != want {
+				t.Fatalf("coeff %d: optimised netlist %d != behavioural %d for a=%d", coeff, out["p"], want, a)
+			}
+		}
+	}
+}
+
+func TestConstPropCollapsesTrivialCoefficients(t *testing.T) {
+	// Multiplying by 0 must dissolve the entire netlist; multiplying by a
+	// power of two must leave no multiplier cells (pure wiring).
+	m := arith.Multiplier{Width: 16, ApproxLSBs: 0, Mult: approx.AccMult, Add: approx.AccAdd}
+	n := mustBuild(t)(GenMultiplier("trivial", m))
+
+	opt, err := Optimize(n, map[string]uint64{"b": 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(opt.Cells) != 0 {
+		t.Errorf("multiply by 0 left %d cells, want 0", len(opt.Cells))
+	}
+
+	opt, err = Optimize(n, map[string]uint64{"b": 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(opt.Cells); got != 0 {
+		t.Errorf("multiply by 8 left %d cells, want 0 (wiring only)", got)
+	}
+	sim := mustSim(t, opt)
+	out, err := sim.Run(map[string]uint64{"a": 123})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["p"] != 123*8 {
+		t.Errorf("multiply by 8 wiring: got %d, want %d", out["p"], 123*8)
+	}
+}
+
+func TestConstPropDissolvesAMA5Cells(t *testing.T) {
+	// ApproxAdd5 is pure wiring (Sum=B, Cout=A); even with no bindings the
+	// pass must dissolve every AMA5 cell.
+	ad := arith.Adder{Width: 32, ApproxLSBs: 32, Kind: approx.ApproxAdd5}
+	n := mustBuild(t)(GenRCA("ama5", ad))
+	opt, err := Optimize(n, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(opt.Cells) != 0 {
+		t.Errorf("fully-AMA5 adder left %d cells, want 0", len(opt.Cells))
+	}
+	sim := mustSim(t, opt)
+	out, err := sim.Run(map[string]uint64{"a": 0xDEAD, "b": 0xBEEF, "cin": 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["sum"] != 0xBEEF {
+		t.Errorf("fully-AMA5 sum = %#x, want b = 0xBEEF", out["sum"])
+	}
+	if out["cout"] != (0xDEAD>>31)&1 {
+		t.Errorf("fully-AMA5 cout = %d, want a[31]", out["cout"])
+	}
+}
+
+func TestDeadCellElimRemovesUnreadLogic(t *testing.T) {
+	b := NewBuilder("dead")
+	a := b.InputBus("a", 2)
+	// Live adder.
+	s, _ := b.FullAdder(approx.AccAdd, a[0], a[1], Const0)
+	// Dead adder: drives nothing.
+	b.FullAdder(approx.AccAdd, a[0], a[1], Const1)
+	b.OutputBus("y", Bus{s})
+	n := mustBuild(t)(b.Build())
+	if len(n.Cells) != 2 {
+		t.Fatalf("setup: %d cells", len(n.Cells))
+	}
+	opt, err := DeadCellElim(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(opt.Cells) != 1 {
+		t.Errorf("DeadCellElim left %d cells, want 1", len(opt.Cells))
+	}
+}
+
+func TestRegistersSurviveOptimization(t *testing.T) {
+	// A register between live logic must not be dissolved as a wire.
+	b := NewBuilder("regs")
+	x := b.InputBus("x", 4)
+	r := b.Register(x)
+	b.OutputBus("y", r)
+	n := mustBuild(t)(b.Build())
+	opt, err := Optimize(n, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := opt.NumRegisters(); got != 4 {
+		t.Errorf("registers after Optimize = %d, want 4", got)
+	}
+}
+
+func TestSimulatorRejectsRegisters(t *testing.T) {
+	b := NewBuilder("seq")
+	x := b.InputBus("x", 1)
+	q := b.Register(x)
+	b.OutputBus("y", q)
+	n := mustBuild(t)(b.Build())
+	if _, err := NewSimulator(n); err == nil {
+		t.Error("NewSimulator accepted a sequential netlist")
+	}
+}
+
+func TestSimulatorMissingInput(t *testing.T) {
+	ad := arith.Adder{Width: 4, Kind: approx.AccAdd}
+	n := mustBuild(t)(GenRCA("rca4", ad))
+	sim := mustSim(t, n)
+	if _, err := sim.Run(map[string]uint64{"a": 1}); err == nil {
+		t.Error("Run without all inputs succeeded, want error")
+	}
+}
+
+func TestValidateCatchesCorruptNetlists(t *testing.T) {
+	// Reading an undefined net (topological violation).
+	bad := &Netlist{Name: "bad", NumNets: 5, Cells: []Cell{
+		{Kind: CellInv, In: []Net{4}, Out: []Net{3}},
+	}}
+	if err := bad.Validate(); err == nil {
+		t.Error("undefined-net read not caught")
+	}
+	// Multiply driven net.
+	b := NewBuilder("dup")
+	x := b.InputBus("x", 1)
+	y := b.Not(x[0])
+	n2 := b.n
+	n2.Cells = append(n2.Cells, Cell{Kind: CellInv, In: []Net{x[0]}, Out: []Net{y}})
+	if err := n2.Validate(); err == nil {
+		t.Error("multiply-driven net not caught")
+	}
+	// Driving a constant net.
+	n3 := &Netlist{Name: "c", NumNets: 3, Inputs: []Port{{Name: "x", Bits: Bus{2}}},
+		Cells: []Cell{{Kind: CellInv, In: []Net{2}, Out: []Net{Const1}}}}
+	if err := n3.Validate(); err == nil {
+		t.Error("constant-net driver not caught")
+	}
+	// Wrong pin count.
+	n4 := &Netlist{Name: "p", NumNets: 4, Inputs: []Port{{Name: "x", Bits: Bus{2}}},
+		Cells: []Cell{{Kind: CellFA, In: []Net{2, 2}, Out: []Net{3}}}}
+	if err := n4.Validate(); err == nil {
+		t.Error("pin-count violation not caught")
+	}
+}
+
+func TestGenFIRStructure(t *testing.T) {
+	spec := FIRSpec{
+		Name:     "lpf",
+		Coeffs:   []int64{1, 2, 3, 4, 5, 6, 5, 4, 3, 2, 1},
+		InWidth:  16,
+		AccWidth: 32,
+		OutShift: 5,
+		OutWidth: 16,
+		Mult:     arith.Multiplier{Width: 16, Mult: approx.AccMult, Add: approx.AccAdd},
+		Add:      arith.Adder{Width: 32, Kind: approx.AccAdd},
+	}
+	n := mustBuild(t)(GenFIR(spec))
+	if got, want := n.NumRegisters(), 10*16; got != want {
+		t.Errorf("LPF registers = %d, want %d (10 16-bit delays)", got, want)
+	}
+	counts := n.CellCounts()
+	if counts["AccMult"] != 11*64 {
+		t.Errorf("LPF 2x2 cells = %d, want %d (11 multipliers)", counts["AccMult"], 11*64)
+	}
+}
+
+func TestGenFIRRejectsBadSpecs(t *testing.T) {
+	good := FIRSpec{
+		Name: "g", Coeffs: []int64{1, -1}, InWidth: 16, AccWidth: 32,
+		OutShift: 0, OutWidth: 16,
+		Mult: arith.Multiplier{Width: 16, Mult: approx.AccMult, Add: approx.AccAdd},
+		Add:  arith.Adder{Width: 32, Kind: approx.AccAdd},
+	}
+	if _, err := GenFIR(good); err != nil {
+		t.Fatalf("good spec rejected: %v", err)
+	}
+	bad := good
+	bad.Coeffs = nil
+	if _, err := GenFIR(bad); err == nil {
+		t.Error("empty coefficients accepted")
+	}
+	bad = good
+	bad.OutShift = 20
+	bad.OutWidth = 16
+	if _, err := GenFIR(bad); err == nil {
+		t.Error("out-of-range output slice accepted")
+	}
+	bad = good
+	bad.Coeffs = []int64{1 << 20}
+	if _, err := GenFIR(bad); err == nil {
+		t.Error("oversized coefficient accepted")
+	}
+}
+
+func TestGenMovingSumAdderOnly(t *testing.T) {
+	spec := MovingSumSpec{
+		Name: "mwi", Taps: 32, InWidth: 16, AccWidth: 32,
+		OutShift: 5, OutWidth: 16,
+		Add: arith.Adder{Width: 32, Kind: approx.AccAdd},
+	}
+	n := mustBuild(t)(GenMovingSum(spec))
+	counts := n.CellCounts()
+	if counts["AccMult"] != 0 || counts["AppMultV1"] != 0 || counts["AppMultV2"] != 0 {
+		t.Error("moving-window integrator contains multiplier cells")
+	}
+	if got, want := counts["AccAdd"], 31*32; got != want {
+		t.Errorf("MWI adder cells = %d, want %d (31 32-bit adders)", got, want)
+	}
+}
+
+func TestBuilderReportsErrors(t *testing.T) {
+	b := NewBuilder("err")
+	a := b.InputBus("a", 4)
+	c := b.InputBus("c", 3)
+	b.RCA(approx.AccAdd, 0, a, c, Const0) // width mismatch
+	if _, err := b.Build(); err == nil {
+		t.Error("width-mismatched RCA accepted")
+	}
+}

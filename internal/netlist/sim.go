@@ -1,0 +1,80 @@
+package netlist
+
+import "fmt"
+
+// Simulator evaluates a combinational netlist bit-true. It is the
+// repository's stand-in for RTL simulation (ModelSim in the paper's
+// tool-flow) and is used to cross-validate the word-level behavioural
+// models in package arith.
+type Simulator struct {
+	n    *Netlist
+	vals []uint8
+}
+
+// NewSimulator returns a Simulator for n. Netlists containing registers
+// are rejected: simulation here is purely combinational.
+func NewSimulator(n *Netlist) (*Simulator, error) {
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	if r := n.NumRegisters(); r > 0 {
+		return nil, fmt.Errorf("netlist %s: cannot simulate %d registers combinationally", n.Name, r)
+	}
+	return &Simulator{n: n, vals: make([]uint8, n.NumNets)}, nil
+}
+
+// evalCell computes the outputs of a cell from concrete input bits.
+// It is shared by the simulator and the constant-propagation pass.
+func evalCell(c *Cell, in []uint8) (out [4]uint8) {
+	switch c.Kind {
+	case CellFA:
+		out[0], out[1] = c.Add.Eval(in[0], in[1], in[2])
+	case CellMult2:
+		p := c.Mul.Eval(in[0]|in[1]<<1, in[2]|in[3]<<1)
+		out[0], out[1], out[2], out[3] = p&1, p>>1&1, p>>2&1, p>>3&1
+	case CellInv:
+		out[0] = 1 - in[0]
+	case CellReg:
+		out[0] = in[0]
+	}
+	return out
+}
+
+// Run evaluates the netlist for one input binding (port name to LSB-first
+// word value) and returns every output port's value.
+func (s *Simulator) Run(inputs map[string]uint64) (map[string]uint64, error) {
+	vals := s.vals
+	for i := range vals {
+		vals[i] = 0
+	}
+	vals[Const1] = 1
+	for _, p := range s.n.Inputs {
+		v, ok := inputs[p.Name]
+		if !ok {
+			return nil, fmt.Errorf("netlist %s: missing input %q", s.n.Name, p.Name)
+		}
+		for i, b := range p.Bits {
+			vals[b] = uint8(v>>i) & 1
+		}
+	}
+	var in [4]uint8
+	for i := range s.n.Cells {
+		c := &s.n.Cells[i]
+		for j, net := range c.In {
+			in[j] = vals[net]
+		}
+		out := evalCell(c, in[:len(c.In)])
+		for j, net := range c.Out {
+			vals[net] = out[j]
+		}
+	}
+	res := make(map[string]uint64, len(s.n.Outputs))
+	for _, p := range s.n.Outputs {
+		var v uint64
+		for i, b := range p.Bits {
+			v |= uint64(vals[b]) << i
+		}
+		res[p.Name] = v
+	}
+	return res, nil
+}

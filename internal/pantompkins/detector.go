@@ -1,0 +1,268 @@
+package pantompkins
+
+import "fmt"
+
+// EventKind classifies detector trace events.
+type EventKind int
+
+const (
+	// EventAccepted marks an accepted QRS complex.
+	EventAccepted EventKind = iota
+	// EventNoise marks a candidate classified as noise.
+	EventNoise
+	// EventTWave marks a candidate rejected by the T-wave slope test.
+	EventTWave
+	// EventMisaligned marks a candidate that crossed both thresholds but
+	// was omitted because its HPF and MWI peaks misalign beyond the preset
+	// threshold — the heartbeat-miss mechanism the paper's Fig 13
+	// analyses.
+	EventMisaligned
+	// EventSearchback marks a QRS recovered by the RR searchback.
+	EventSearchback
+)
+
+// String names the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case EventAccepted:
+		return "accepted"
+	case EventNoise:
+		return "noise"
+	case EventTWave:
+		return "t-wave"
+	case EventMisaligned:
+		return "misaligned"
+	case EventSearchback:
+		return "searchback"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is one detector decision, in MWI sample coordinates.
+type Event struct {
+	Kind     EventKind
+	Index    int // MWI candidate index
+	Filtered int // matched filtered-signal peak index (-1 if none)
+	Value    int64
+}
+
+// Detection is the outcome of the adaptive-threshold peak detector.
+type Detection struct {
+	// Peaks are detected R positions referred back to the raw signal
+	// (filtered-peak position minus the LPF+HPF group delay), ascending.
+	Peaks []int
+	// MWIPeaks are the accepted candidates in MWI coordinates.
+	MWIPeaks []int
+	// Events traces every decision for misclassification analysis.
+	Events []Event
+}
+
+// Detector tuning constants (fractions of the sampling rate are per
+// Pan & Tompkins 1985).
+const (
+	refractoryS   = 0.200 // no two QRS within 200 ms
+	tWaveWindowS  = 0.360 // slope test window after a QRS
+	searchWindowS = 0.200 // filtered-peak search window behind an MWI peak
+	alignAheadS   = 0.050 // filtered peak may trail the MWI peak this far
+	searchbackRR  = 1.66  // missed-beat searchback trigger (x mean RR)
+	learnS        = 2.0   // threshold learning period
+)
+
+// filterDelay is the LPF+HPF group delay in samples, used to refer
+// filtered-peak positions back to the raw signal.
+const filterDelay = 5 + 16
+
+// Detect runs adaptive-threshold QRS detection over the filtered
+// (pre-processed) and integrated signals, both sampled at fs Hz.
+//
+// The decision logic follows Pan & Tompkins: dual signal/noise threshold
+// pairs on the integrated and filtered signals with 0.125 running updates,
+// a 200 ms refractory period, a T-wave slope test inside 360 ms, and an
+// RR-interval searchback with lowered thresholds. On top of that sits the
+// paper's alignment cross-check: a candidate whose filtered peak misaligns
+// with its MWI peak by more than the preset window is omitted as a
+// classification error (Fig 13).
+func Detect(filtered, integrated []int64, fs int) Detection {
+	det := Detection{}
+	n := len(integrated)
+	if n == 0 || len(filtered) != n || fs <= 0 {
+		return det
+	}
+	refractory := int(refractoryS * float64(fs))
+	tWaveWin := int(tWaveWindowS * float64(fs))
+	searchWin := int(searchWindowS * float64(fs))
+	alignAhead := int(alignAheadS * float64(fs))
+	learn := int(learnS * float64(fs))
+	if learn > n {
+		learn = n
+	}
+
+	// Learning phase: seed the four running estimates.
+	var maxI, sumI float64
+	for i := 0; i < learn; i++ {
+		v := float64(integrated[i])
+		if v > maxI {
+			maxI = v
+		}
+		sumI += v
+	}
+	var maxF, sumF float64
+	for i := 0; i < learn; i++ {
+		v := absf(filtered[i])
+		if v > maxF {
+			maxF = v
+		}
+		sumF += v
+	}
+	spki := 0.4 * maxI
+	npki := 0.5 * sumI / float64(learn)
+	spkf := 0.4 * maxF
+	npkf := 0.5 * sumF / float64(learn)
+
+	thrI := func() float64 { return npki + 0.25*(spki-npki) }
+	thrF := func() float64 { return npkf + 0.25*(spkf-npkf) }
+
+	lastQRS := -refractory - 1 // MWI index of the last accepted QRS
+	lastSlope := 0.0
+	var rr []int
+	rrMean := float64(fs) * 0.8 // prior: 75 bpm until measured
+
+	// Pending candidates for searchback (rejected since the last QRS).
+	type cand struct {
+		idx  int
+		val  int64
+		fpos int
+		fval float64
+	}
+	var pending []cand
+
+	accept := func(c cand, weight float64, kind EventKind) {
+		spki = weight*float64(c.val) + (1-weight)*spki
+		spkf = weight*c.fval + (1-weight)*spkf
+		if lastQRS >= 0 {
+			rrNew := c.idx - lastQRS
+			rr = append(rr, rrNew)
+			if len(rr) > 8 {
+				rr = rr[1:]
+			}
+			total := 0
+			for _, v := range rr {
+				total += v
+			}
+			rrMean = float64(total) / float64(len(rr))
+		}
+		lastQRS = c.idx
+		lastSlope = slopeBefore(integrated, c.idx, fs)
+		raw := c.fpos - filterDelay
+		if raw < 0 {
+			raw = 0
+		}
+		det.Peaks = append(det.Peaks, raw)
+		det.MWIPeaks = append(det.MWIPeaks, c.idx)
+		det.Events = append(det.Events, Event{Kind: kind, Index: c.idx, Filtered: c.fpos, Value: c.val})
+		pending = pending[:0]
+	}
+
+	for i := 1; i < n-1; i++ {
+		if !(integrated[i-1] < integrated[i] && integrated[i] >= integrated[i+1]) {
+			continue
+		}
+		v := integrated[i]
+		if i-lastQRS <= refractory {
+			continue
+		}
+
+		// Locate the matching filtered peak near the MWI peak.
+		fpos, fval := peakNear(filtered, i-searchWin, i+alignAhead)
+
+		// T-wave discrimination inside 360 ms of the previous QRS.
+		if lastQRS >= 0 && i-lastQRS <= tWaveWin {
+			if s := slopeBefore(integrated, i, fs); s < 0.5*lastSlope {
+				npki = 0.125*float64(v) + 0.875*npki
+				npkf = 0.125*fval + 0.875*npkf
+				det.Events = append(det.Events, Event{Kind: EventTWave, Index: i, Filtered: fpos, Value: v})
+				continue
+			}
+		}
+
+		if float64(v) > thrI() && fval > thrF() {
+			// Alignment cross-check (Fig 13): the filtered peak must
+			// precede the MWI peak within the search window; a peak that
+			// trails it or sits at the window edge is a misclassified
+			// artefact and the beat is omitted.
+			if fpos > i || i-fpos >= searchWin {
+				det.Events = append(det.Events, Event{Kind: EventMisaligned, Index: i, Filtered: fpos, Value: v})
+				pending = append(pending, cand{i, v, fpos, fval})
+				continue
+			}
+			accept(cand{i, v, fpos, fval}, 0.125, EventAccepted)
+			continue
+		}
+
+		// Noise.
+		npki = 0.125*float64(v) + 0.875*npki
+		npkf = 0.125*fval + 0.875*npkf
+		det.Events = append(det.Events, Event{Kind: EventNoise, Index: i, Filtered: fpos, Value: v})
+		pending = append(pending, cand{i, v, fpos, fval})
+
+		// Searchback for a missed beat.
+		if lastQRS >= 0 && float64(i-lastQRS) > searchbackRR*rrMean {
+			bestIdx := -1
+			for pi, p := range pending {
+				if float64(p.val) > 0.5*thrI() && p.fpos <= p.idx && p.idx-p.fpos < searchWin {
+					if bestIdx < 0 || p.val > pending[bestIdx].val {
+						bestIdx = pi
+					}
+				}
+			}
+			if bestIdx >= 0 {
+				accept(pending[bestIdx], 0.25, EventSearchback)
+			}
+		}
+	}
+	return det
+}
+
+// absf returns |x| as float64.
+func absf(x int64) float64 {
+	if x < 0 {
+		x = -x
+	}
+	return float64(x)
+}
+
+// peakNear returns the position and absolute value of the largest
+// filtered-signal sample in [lo, hi].
+func peakNear(filtered []int64, lo, hi int) (int, float64) {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi >= len(filtered) {
+		hi = len(filtered) - 1
+	}
+	best, bestV := lo, -1.0
+	for j := lo; j <= hi; j++ {
+		if v := absf(filtered[j]); v > bestV {
+			best, bestV = j, v
+		}
+	}
+	return best, bestV
+}
+
+// slopeBefore returns the maximum rising slope of the integrated signal in
+// the 75 ms window before idx (the Pan-Tompkins T-wave discriminator).
+func slopeBefore(integrated []int64, idx, fs int) float64 {
+	win := int(0.075 * float64(fs))
+	lo := idx - win
+	if lo < 1 {
+		lo = 1
+	}
+	maxS := 0.0
+	for j := lo; j <= idx && j < len(integrated); j++ {
+		if s := float64(integrated[j] - integrated[j-1]); s > maxS {
+			maxS = s
+		}
+	}
+	return maxS
+}

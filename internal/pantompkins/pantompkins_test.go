@@ -1,0 +1,276 @@
+package pantompkins
+
+import (
+	"testing"
+
+	"github.com/xbiosip/xbiosip/internal/approx"
+	"github.com/xbiosip/xbiosip/internal/dsp"
+	"github.com/xbiosip/xbiosip/internal/ecg"
+	"github.com/xbiosip/xbiosip/internal/metrics"
+)
+
+func record(t *testing.T, n int) *ecg.Record {
+	t.Helper()
+	rec, err := ecg.NSRDBRecord(0, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec
+}
+
+func cfgWith(ks [NumStages]int) Config {
+	var c Config
+	for i, s := range Stages {
+		if ks[i] > 0 {
+			c.Stage[s] = dsp.ArithConfig{LSBs: ks[i], Add: approx.ApproxAdd5, Mul: approx.AppMultV1}
+		}
+	}
+	return c
+}
+
+func TestAccuratePipelineDetectsAllBeats(t *testing.T) {
+	rec := record(t, 12000)
+	p, err := New(AccurateConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := p.Process(rec)
+	m, err := metrics.MatchPeaks(rec.Annotations, res.Detection.Peaks, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Sensitivity() != 1 || m.PPV() != 1 {
+		t.Errorf("accurate detection imperfect: %+v", m)
+	}
+}
+
+func TestStageModuleCountsMatchPaper(t *testing.T) {
+	// Paper §2/§4.2: LPF 11 taps (11 multipliers), HPF 32 taps (32
+	// multipliers, 31 adders), DER coefficient magnitudes 2 and 1, MWI
+	// adders only.
+	if len(LPFCoeffs) != 11 {
+		t.Errorf("LPF taps = %d, want 11", len(LPFCoeffs))
+	}
+	if len(HPFCoeffs) != 32 {
+		t.Errorf("HPF taps = %d, want 32", len(HPFCoeffs))
+	}
+	if len(DERCoeffs) != 5 {
+		t.Errorf("DER taps = %d, want 5", len(DERCoeffs))
+	}
+	for _, c := range DERCoeffs {
+		if c < -2 || c > 2 {
+			t.Errorf("DER coefficient %d exceeds magnitude 2", c)
+		}
+	}
+	sum := int64(0)
+	for _, c := range LPFCoeffs {
+		sum += c
+	}
+	if sum != 36 {
+		t.Errorf("LPF gain = %d, want 36 (classic Pan-Tompkins)", sum)
+	}
+	sum = 0
+	for _, c := range HPFCoeffs {
+		sum += c
+	}
+	if sum != 0 {
+		t.Errorf("HPF DC gain = %d, want 0 (high-pass rejects DC)", sum)
+	}
+}
+
+func TestHPFRejectsDC(t *testing.T) {
+	p, err := New(AccurateConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dc := make([]int16, 2000)
+	for i := range dc {
+		dc[i] = 5000
+	}
+	out := p.Run(dc)
+	// After settling, the filtered output of a constant input is zero.
+	for i := 200; i < len(out.Filtered); i++ {
+		if out.Filtered[i] != 0 {
+			t.Fatalf("HPF output %d at sample %d for DC input", out.Filtered[i], i)
+		}
+	}
+}
+
+func TestLPFThresholdMatchesPaper(t *testing.T) {
+	// Paper Fig 2: the LPF tolerates 14 approximated LSBs with 100%
+	// detection accuracy and collapses at 16.
+	rec := record(t, 12000)
+	at := func(k int) float64 {
+		p, err := New(cfgWith([NumStages]int{k, 0, 0, 0, 0}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := p.Process(rec)
+		m, err := metrics.MatchPeaks(rec.Annotations, res.Detection.Peaks, 30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m.Sensitivity()
+	}
+	if acc := at(14); acc != 1 {
+		t.Errorf("LPF k=14 accuracy %.2f, want 1.0 (paper threshold)", acc)
+	}
+	if acc := at(16); acc >= 0.9 {
+		t.Errorf("LPF k=16 accuracy %.2f, want collapse below 0.9", acc)
+	}
+}
+
+func TestMWIExtremeTolerance(t *testing.T) {
+	// Paper §4.2: the MWI stage tolerates 16 approximated LSBs.
+	rec := record(t, 12000)
+	p, err := New(cfgWith([NumStages]int{0, 0, 0, 0, 16}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := p.Process(rec)
+	m, err := metrics.MatchPeaks(rec.Annotations, res.Detection.Peaks, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Sensitivity() != 1 {
+		t.Errorf("MWI k=16 accuracy %.3f, want 1.0", m.Sensitivity())
+	}
+}
+
+func TestB9FullAccuracy(t *testing.T) {
+	// The paper's headline design B9 detects all peaks.
+	rec := record(t, 12000)
+	p, err := New(cfgWith([NumStages]int{10, 12, 2, 8, 16}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := p.Process(rec)
+	m, err := metrics.MatchPeaks(rec.Annotations, res.Detection.Peaks, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Sensitivity() != 1 {
+		t.Errorf("B9 accuracy %.3f, want 1.0 (paper: 0%% loss)", m.Sensitivity())
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	var c Config
+	c.Stage[LPF].LSBs = -1
+	if err := c.Validate(); err == nil {
+		t.Error("negative LSBs accepted")
+	}
+	c = Config{}
+	c.Stage[SQR].LSBs = 40
+	if err := c.Validate(); err == nil {
+		t.Error("oversized LSBs accepted")
+	}
+	if _, err := New(c); err == nil {
+		t.Error("New accepted invalid config")
+	}
+}
+
+func TestConfigString(t *testing.T) {
+	c := cfgWith([NumStages]int{10, 12, 2, 8, 16})
+	if got := c.String(); got != "LPF10 HPF12 DER2 SQR8 MWI16" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestStageNetlistsGenerate(t *testing.T) {
+	for _, s := range Stages {
+		for _, cfg := range []dsp.ArithConfig{
+			{},
+			{LSBs: 8, Add: approx.ApproxAdd5, Mul: approx.AppMultV1},
+		} {
+			n, err := StageNetlist(s, cfg)
+			if err != nil {
+				t.Fatalf("StageNetlist(%v, %v): %v", s, cfg, err)
+			}
+			if err := n.Validate(); err != nil {
+				t.Fatalf("netlist %v invalid: %v", s, err)
+			}
+			nc, err := StageNetlistCombinational(s, cfg)
+			if err != nil {
+				t.Fatalf("combinational %v: %v", s, err)
+			}
+			if nc.NumRegisters() != 0 {
+				t.Errorf("combinational %v netlist has registers", s)
+			}
+		}
+	}
+}
+
+func TestMWINetlistHasNoMultipliers(t *testing.T) {
+	n, err := StageNetlist(MWI, dsp.Accurate())
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := n.CellCounts()
+	for name, c := range counts {
+		if c > 0 && (name == "AccMult" || name == "AppMultV1" || name == "AppMultV2") {
+			t.Errorf("MWI netlist contains %s x%d", name, c)
+		}
+	}
+}
+
+func TestDetectorEmptyInput(t *testing.T) {
+	d := Detect(nil, nil, 200)
+	if len(d.Peaks) != 0 || len(d.Events) != 0 {
+		t.Error("empty input produced detections")
+	}
+	d = Detect(make([]int64, 10), make([]int64, 5), 200)
+	if len(d.Peaks) != 0 {
+		t.Error("mismatched input lengths produced detections")
+	}
+}
+
+func TestDetectorRefractoryPeriod(t *testing.T) {
+	rec := record(t, 12000)
+	p, err := New(AccurateConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := p.Process(rec)
+	for i := 1; i < len(res.Detection.MWIPeaks); i++ {
+		if d := res.Detection.MWIPeaks[i] - res.Detection.MWIPeaks[i-1]; d <= 40 {
+			t.Fatalf("two QRS within refractory period: %d samples apart", d)
+		}
+	}
+}
+
+func TestDetectionPeaksSorted(t *testing.T) {
+	rec := record(t, 12000)
+	p, _ := New(cfgWith([NumStages]int{10, 12, 4, 8, 16}))
+	res := p.Process(rec)
+	for i := 1; i < len(res.Detection.Peaks); i++ {
+		if res.Detection.Peaks[i] < res.Detection.Peaks[i-1] {
+			t.Fatal("detected peaks not sorted")
+		}
+	}
+}
+
+func TestEventKindStrings(t *testing.T) {
+	kinds := []EventKind{EventAccepted, EventNoise, EventTWave, EventMisaligned, EventSearchback}
+	want := []string{"accepted", "noise", "t-wave", "misaligned", "searchback"}
+	for i, k := range kinds {
+		if k.String() != want[i] {
+			t.Errorf("EventKind %d = %q, want %q", i, k.String(), want[i])
+		}
+	}
+}
+
+func TestGroupDelayPositive(t *testing.T) {
+	if GroupDelay() <= 0 {
+		t.Error("group delay must be positive")
+	}
+}
+
+func TestStageStrings(t *testing.T) {
+	want := []string{"LPF", "HPF", "DER", "SQR", "MWI"}
+	for i, s := range Stages {
+		if s.String() != want[i] {
+			t.Errorf("stage %d = %q", i, s.String())
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package pantompkins
+
+import (
+	"fmt"
+
+	"github.com/xbiosip/xbiosip/internal/dsp"
+	"github.com/xbiosip/xbiosip/internal/ecg"
+)
+
+// Outputs holds every intermediate signal of one pipeline run; the
+// two-stage quality evaluation reads Filtered (the pre-processing output
+// the paper grades with PSNR/SSIM) and the detector reads Filtered plus
+// Integrated.
+type Outputs struct {
+	LowPassed  []int64 // after stage A
+	Filtered   []int64 // after stage B (the pre-processed signal)
+	Derivative []int64 // after stage C
+	Squared    []int64 // after stage D
+	Integrated []int64 // after stage E
+}
+
+// Pipeline is one instantiated Pan-Tompkins processing chain.
+type Pipeline struct {
+	cfg Config
+	lpf *dsp.FIR
+	hpf *dsp.FIR
+	der *dsp.FIR
+	sqr *dsp.Squarer
+	mwi *dsp.MovingSum
+}
+
+// New builds the pipeline for the given per-stage approximation
+// configuration.
+func New(cfg Config) (*Pipeline, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	lpf, err := dsp.NewFIR(LPFCoeffs, LPFShift, cfg.Stage[LPF])
+	if err != nil {
+		return nil, fmt.Errorf("pantompkins: LPF: %w", err)
+	}
+	hpf, err := dsp.NewFIR(HPFCoeffs, HPFShift, cfg.Stage[HPF])
+	if err != nil {
+		return nil, fmt.Errorf("pantompkins: HPF: %w", err)
+	}
+	der, err := dsp.NewFIR(DERCoeffs, DERShift, cfg.Stage[DER])
+	if err != nil {
+		return nil, fmt.Errorf("pantompkins: DER: %w", err)
+	}
+	sqr, err := dsp.NewSquarer(SQRShift, cfg.Stage[SQR])
+	if err != nil {
+		return nil, fmt.Errorf("pantompkins: SQR: %w", err)
+	}
+	mwi, err := dsp.NewMovingSum(MWIWindow, MWIShift, cfg.Stage[MWI])
+	if err != nil {
+		return nil, fmt.Errorf("pantompkins: MWI: %w", err)
+	}
+	return &Pipeline{cfg: cfg, lpf: lpf, hpf: hpf, der: der, sqr: sqr, mwi: mwi}, nil
+}
+
+// Config returns the pipeline's approximation configuration.
+func (p *Pipeline) Config() Config { return p.cfg }
+
+// Run processes raw ADC samples through all five stages.
+func (p *Pipeline) Run(samples []int16) *Outputs {
+	xs := make([]int64, len(samples))
+	for i, s := range samples {
+		xs[i] = int64(s)
+	}
+	out := &Outputs{}
+	out.LowPassed = p.lpf.Filter(xs)
+	out.Filtered = p.hpf.Filter(out.LowPassed)
+	out.Derivative = p.der.Filter(out.Filtered)
+	out.Squared = p.sqr.Filter(out.Derivative)
+	out.Integrated = p.mwi.Filter(out.Squared)
+	return out
+}
+
+// Result bundles a pipeline run with its detection outcome.
+type Result struct {
+	Outputs   *Outputs
+	Detection Detection
+}
+
+// Process runs the full algorithm — five stages plus adaptive-threshold
+// detection — over a record and returns all intermediate products.
+func (p *Pipeline) Process(rec *ecg.Record) *Result {
+	out := p.Run(rec.Samples)
+	det := Detect(out.Filtered, out.Integrated, rec.FS)
+	return &Result{Outputs: out, Detection: det}
+}
+
+// GroupDelay returns the pipeline's approximate group delay in samples
+// from the raw input to the integrator output: LPF (11+1)/2-1 = 5, HPF 16,
+// DER 2, MWI window/2. Detection positions are corrected by this amount
+// before they are compared against raw-signal annotations.
+func GroupDelay() int {
+	return 5 + 16 + 2 + MWIWindow/2
+}

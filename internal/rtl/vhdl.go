@@ -1,0 +1,182 @@
+// Package rtl emits synthesisable VHDL from the cell netlists of package
+// netlist. The paper open-sources "the RTL and behavioral models of these
+// approximate adders and multipliers, including a VHDL implementation of
+// the key stages present in the Pan-Tompkins algorithm"; this package is
+// that artefact's generator, so every block the library models can be
+// taken to an actual ASIC/FPGA flow.
+//
+// The emitted style is deliberately plain structural VHDL-93: one entity
+// per design, std_logic signals for every net, and each cell instance
+// expressed through concurrent assignments of its Boolean equations (the
+// elementary cells are small enough that explicit equations are clearer
+// than a component library, and they synthesise to the intended gates).
+package rtl
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"github.com/xbiosip/xbiosip/internal/approx"
+	"github.com/xbiosip/xbiosip/internal/netlist"
+)
+
+// EmitVHDL writes the netlist as a synthesisable VHDL entity/architecture
+// pair. Registers become a clocked process on the added clk port.
+func EmitVHDL(w io.Writer, n *netlist.Netlist) error {
+	if err := n.Validate(); err != nil {
+		return err
+	}
+	name := sanitize(n.Name)
+	var b strings.Builder
+
+	b.WriteString("library ieee;\nuse ieee.std_logic_1164.all;\n\n")
+	fmt.Fprintf(&b, "entity %s is\n  port (\n", name)
+	hasRegs := n.NumRegisters() > 0
+	if hasRegs {
+		b.WriteString("    clk : in std_logic;\n")
+	}
+	for _, p := range n.Inputs {
+		fmt.Fprintf(&b, "    %s : in std_logic_vector(%d downto 0);\n", sanitize(p.Name), len(p.Bits)-1)
+	}
+	for i, p := range n.Outputs {
+		sep := ";"
+		if i == len(n.Outputs)-1 {
+			sep = ""
+		}
+		fmt.Fprintf(&b, "    %s : out std_logic_vector(%d downto 0)%s\n", sanitize(p.Name), len(p.Bits)-1, sep)
+	}
+	fmt.Fprintf(&b, "  );\nend entity %s;\n\n", name)
+
+	fmt.Fprintf(&b, "architecture structural of %s is\n", name)
+	fmt.Fprintf(&b, "  signal n : std_logic_vector(%d downto 0);\n", n.NumNets-1)
+	b.WriteString("begin\n")
+	b.WriteString("  n(0) <= '0';\n  n(1) <= '1';\n")
+
+	for _, p := range n.Inputs {
+		for i, bit := range p.Bits {
+			fmt.Fprintf(&b, "  n(%d) <= %s(%d);\n", bit, sanitize(p.Name), i)
+		}
+	}
+
+	var regs []netlist.Cell
+	for ci := range n.Cells {
+		c := &n.Cells[ci]
+		switch c.Kind {
+		case netlist.CellReg:
+			regs = append(regs, *c)
+		case netlist.CellInv:
+			fmt.Fprintf(&b, "  n(%d) <= not n(%d);\n", c.Out[0], c.In[0])
+		case netlist.CellFA:
+			emitFA(&b, c)
+		case netlist.CellMult2:
+			emitMult2(&b, c)
+		}
+	}
+
+	if hasRegs {
+		b.WriteString("  registers : process (clk)\n  begin\n    if rising_edge(clk) then\n")
+		for _, c := range regs {
+			fmt.Fprintf(&b, "      n(%d) <= n(%d);\n", c.Out[0], c.In[0])
+		}
+		b.WriteString("    end if;\n  end process;\n")
+	}
+
+	for _, p := range n.Outputs {
+		for i, bit := range p.Bits {
+			fmt.Fprintf(&b, "  %s(%d) <= n(%d);\n", sanitize(p.Name), i, bit)
+		}
+	}
+	fmt.Fprintf(&b, "end architecture structural;\n")
+
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// emitFA writes the Boolean equations of one full-adder flavour. The
+// equations follow the published cell definitions (AMA1..AMA5); the exact
+// cell is the textbook sum/majority pair.
+func emitFA(b *strings.Builder, c *netlist.Cell) {
+	a, bb, cin := c.In[0], c.In[1], c.In[2]
+	sum, cout := c.Out[0], c.Out[1]
+	switch c.Add {
+	case approx.AccAdd:
+		fmt.Fprintf(b, "  n(%d) <= n(%d) xor n(%d) xor n(%d);\n", sum, a, bb, cin)
+		fmt.Fprintf(b, "  n(%d) <= (n(%d) and n(%d)) or (n(%d) and n(%d)) or (n(%d) and n(%d));\n",
+			cout, a, bb, a, cin, bb, cin)
+	case approx.ApproxAdd1:
+		// AMA1: exact except the (A=0,B=1,Cin=0) pattern, realised by
+		// moving the error into both outputs.
+		fmt.Fprintf(b, "  n(%d) <= (n(%d) xor n(%d) xor n(%d)) and not (not n(%d) and n(%d) and not n(%d));\n",
+			sum, a, bb, cin, a, bb, cin)
+		fmt.Fprintf(b, "  n(%d) <= (n(%d) and n(%d)) or (n(%d) and n(%d)) or (n(%d) and n(%d)) or (not n(%d) and n(%d) and not n(%d));\n",
+			cout, a, bb, a, cin, bb, cin, a, bb, cin)
+	case approx.ApproxAdd2:
+		// AMA2: Sum = not Cout, Cout exact.
+		fmt.Fprintf(b, "  n(%d) <= (n(%d) and n(%d)) or (n(%d) and n(%d)) or (n(%d) and n(%d));\n",
+			cout, a, bb, a, cin, bb, cin)
+		fmt.Fprintf(b, "  n(%d) <= not n(%d);\n", sum, cout)
+	case approx.ApproxAdd3:
+		// AMA3: AMA1 carry, Sum = not Cout.
+		fmt.Fprintf(b, "  n(%d) <= (n(%d) and n(%d)) or (n(%d) and n(%d)) or (n(%d) and n(%d)) or (not n(%d) and n(%d) and not n(%d));\n",
+			cout, a, bb, a, cin, bb, cin, a, bb, cin)
+		fmt.Fprintf(b, "  n(%d) <= not n(%d);\n", sum, cout)
+	case approx.ApproxAdd4:
+		// AMA4: Cout = A, Sum = not A.
+		fmt.Fprintf(b, "  n(%d) <= n(%d);\n", cout, a)
+		fmt.Fprintf(b, "  n(%d) <= not n(%d);\n", sum, a)
+	case approx.ApproxAdd5:
+		// AMA5: pure wiring.
+		fmt.Fprintf(b, "  n(%d) <= n(%d);\n", sum, bb)
+		fmt.Fprintf(b, "  n(%d) <= n(%d);\n", cout, a)
+	}
+}
+
+// emitMult2 writes the Boolean equations of one 2x2 multiplier flavour.
+func emitMult2(b *strings.Builder, c *netlist.Cell) {
+	a0, a1, b0, b1 := c.In[0], c.In[1], c.In[2], c.In[3]
+	p := c.Out
+	switch c.Mul {
+	case approx.AccMult:
+		// Exact 2x2: p = a*b with a carry into p2/p3.
+		fmt.Fprintf(b, "  n(%d) <= n(%d) and n(%d);\n", p[0], a0, b0)
+		fmt.Fprintf(b, "  n(%d) <= (n(%d) and n(%d)) xor (n(%d) and n(%d));\n", p[1], a1, b0, a0, b1)
+		fmt.Fprintf(b, "  n(%d) <= (n(%d) and n(%d)) xor (n(%d) and n(%d) and n(%d) and n(%d));\n",
+			p[2], a1, b1, a1, b0, a0, b1)
+		fmt.Fprintf(b, "  n(%d) <= n(%d) and n(%d) and n(%d) and n(%d);\n", p[3], a0, a1, b0, b1)
+	case approx.AppMultV1:
+		// Kulkarni: 3-bit output, 3x3 -> 7.
+		fmt.Fprintf(b, "  n(%d) <= n(%d) and n(%d);\n", p[0], a0, b0)
+		fmt.Fprintf(b, "  n(%d) <= (n(%d) and n(%d)) or (n(%d) and n(%d));\n", p[1], a1, b0, a0, b1)
+		fmt.Fprintf(b, "  n(%d) <= n(%d) and n(%d);\n", p[2], a1, b1)
+		fmt.Fprintf(b, "  n(%d) <= '0';\n", p[3])
+	case approx.AppMultV2:
+		// Drops the a1*b0 cross partial product.
+		fmt.Fprintf(b, "  n(%d) <= n(%d) and n(%d);\n", p[0], a0, b0)
+		fmt.Fprintf(b, "  n(%d) <= n(%d) and n(%d);\n", p[1], a0, b1)
+		fmt.Fprintf(b, "  n(%d) <= n(%d) and n(%d);\n", p[2], a1, b1)
+		fmt.Fprintf(b, "  n(%d) <= '0';\n", p[3])
+	}
+}
+
+// sanitize turns a netlist name into a legal VHDL identifier.
+func sanitize(s string) string {
+	var b strings.Builder
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				b.WriteRune('x')
+			}
+			b.WriteRune(r)
+		default:
+			b.WriteRune('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "design"
+	}
+	return b.String()
+}
