@@ -1,0 +1,28 @@
+# Developer and CI entry points. `make ci` is the gate: build, vet,
+# race-clean tests, and a one-iteration benchmark smoke pass over the
+# paper-reproduction harness.
+
+GO ?= go
+
+.PHONY: all build vet test race bench ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One iteration of every benchmark: regenerates each table/figure once and
+# exercises the parallel DSE engine without taking benchmark-grade time.
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x -run '^$$' .
+
+ci: build vet race bench

@@ -10,9 +10,16 @@
 package xbiosip_test
 
 import (
+	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
+	"github.com/xbiosip/xbiosip/internal/approx"
+	"github.com/xbiosip/xbiosip/internal/core"
+	"github.com/xbiosip/xbiosip/internal/dse"
+	"github.com/xbiosip/xbiosip/internal/ecg"
+	"github.com/xbiosip/xbiosip/internal/energy"
 	"github.com/xbiosip/xbiosip/internal/experiments"
 	"github.com/xbiosip/xbiosip/internal/pantompkins"
 )
@@ -174,6 +181,64 @@ func BenchmarkFig13Misclassification(b *testing.B) {
 		out = experiments.FormatMisclassification(r)
 	}
 	b.Log("\n" + out)
+}
+
+// BenchmarkDSEWorkers measures the wall-clock scaling of the parallel
+// evaluation engine on the pre-processing exploration (the 81-point
+// exhaustive grid plus Algorithm 1 over the same space, as in Table 2).
+// Every iteration gets a FRESH evaluator so the memoizing cache cannot
+// hide the simulation cost; compare the workers=1 and workers=N
+// sub-benchmarks for the speedup.
+func BenchmarkDSEWorkers(b *testing.B) {
+	rec, err := ecg.NSRDBRecord(0, 6000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	stim, err := energy.NewStimulus(rec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	em := energy.NewModel(stim)
+	// On a single-core host the pool still runs (overlap is just
+	// time-sliced); the wall-clock speedup shows from 2 cores up.
+	parallel := runtime.GOMAXPROCS(0)
+	if parallel < 2 {
+		parallel = 4
+	}
+	for _, workers := range []int{1, parallel} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				eval, err := core.NewEvaluator([]*ecg.Record{rec})
+				if err != nil {
+					b.Fatal(err)
+				}
+				evalPSNR := func(cfg pantompkins.Config) (float64, error) {
+					q, err := eval.Evaluate(cfg)
+					if err != nil {
+						return 0, err
+					}
+					return q.PSNR, nil
+				}
+				opt := dse.Options{
+					Base:       pantompkins.AccurateConfig(),
+					Stages:     []pantompkins.Stage{pantompkins.LPF, pantompkins.HPF},
+					LSBs:       core.DefaultLSBLists(),
+					Mults:      []approx.MultKind{approx.AppMultV1},
+					Adds:       []approx.AdderKind{approx.ApproxAdd5},
+					Constraint: 15,
+					Workers:    workers,
+				}
+				b.StartTimer()
+				if _, err := dse.ExhaustiveGrid(opt, pantompkins.LPF, pantompkins.HPF, evalPSNR, em.StageEnergy); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := dse.Generate(opt, evalPSNR, em.StageEnergy); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkAblationEnergyAccounting compares the three energy-accounting

@@ -29,13 +29,14 @@ func main() {
 	samples := flag.Int("samples", 20000, "samples per record (paper: 20000 = 100 s at 200 Hz)")
 	psnr := flag.Float64("psnr", 15, "signal-quality constraint for the pre-processing gate (dB)")
 	accuracy := flag.Float64("accuracy", 1.0, "final peak-detection-accuracy constraint [0,1]")
+	workers := flag.Int("workers", 0, "design-evaluation workers (0 = all CPUs, 1 = sequential; results are identical)")
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() != 1 {
 		usage()
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *records, *samples, *psnr, *accuracy); err != nil {
+	if err := run(flag.Arg(0), *records, *samples, *psnr, *accuracy, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "xbiosip:", err)
 		os.Exit(1)
 	}
@@ -56,6 +57,7 @@ experiments:
   fig13    heartbeat misclassification analysis of B10
   ablation stage energy under the three accounting policies
   noise    detection accuracy vs EMG noise, accurate vs B9
+  stream   push every record through the B9 detector sample by sample
   dse      run the full two-gate XBioSiP methodology
   synth    synthesis reports of the five accurate stage netlists
   all      everything above
@@ -65,7 +67,7 @@ flags:
 	flag.PrintDefaults()
 }
 
-func run(what string, records, samples int, psnr, accuracy float64) error {
+func run(what string, records, samples int, psnr, accuracy float64, workers int) error {
 	// Experiments that need no evaluation environment.
 	switch what {
 	case "table1":
@@ -81,6 +83,9 @@ func run(what string, records, samples int, psnr, accuracy float64) error {
 	s, err := experiments.NewSetup(records, samples)
 	if err != nil {
 		return err
+	}
+	if workers > 0 {
+		s.Workers = workers
 	}
 	all := what == "all"
 	if all {
@@ -158,11 +163,22 @@ func run(what string, records, samples int, psnr, accuracy float64) error {
 		}
 		fmt.Print(experiments.FormatNoiseRobustness(rows), "\n")
 	}
+	if all || what == "stream" {
+		b9 := experiments.Fig12Configs[9]
+		if b9.Name != "B9" {
+			return fmt.Errorf("config table changed: %s", b9.Name)
+		}
+		rows, err := s.Streaming(s.Config(b9.LSBs))
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatStreaming(s.Config(b9.LSBs), rows), "\n")
+	}
 	if all || what == "dse" {
 		return runMethodology(s, psnr, accuracy)
 	}
 	switch what {
-	case "all", "fig2", "fig8", "fig10", "table2", "fig11", "fig12", "fig13", "ablation", "noise", "dse":
+	case "all", "fig2", "fig8", "fig10", "table2", "fig11", "fig12", "fig13", "ablation", "noise", "stream", "dse":
 		return nil
 	}
 	return fmt.Errorf("unknown experiment %q (run without arguments for usage)", what)
@@ -172,6 +188,7 @@ func runMethodology(s *experiments.Setup, psnr, accuracy float64) error {
 	m := core.NewMethodology(s.Eval, s.Energy)
 	m.SignalConstraint = psnr
 	m.FinalConstraint = accuracy
+	m.Workers = s.Workers
 	d, err := m.Run()
 	if err != nil {
 		return err
@@ -182,6 +199,9 @@ func runMethodology(s *experiments.Setup, psnr, accuracy float64) error {
 	fmt.Printf("  peak accuracy %.2f%%, PSNR %.2f dB, SSIM %.3f\n",
 		100*d.Quality.PeakAccuracy, d.Quality.PSNR, d.Quality.SSIM)
 	fmt.Printf("  end-to-end energy reduction: %.2fx\n", d.EnergyReduction)
+	st := s.Eval.CacheStats()
+	fmt.Printf("  evaluation engine: %d workers, %d pipeline simulations, %d cache hits\n",
+		m.Workers, st.Misses, st.Hits)
 	return nil
 }
 

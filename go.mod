@@ -1,0 +1,3 @@
+module github.com/xbiosip/xbiosip
+
+go 1.24

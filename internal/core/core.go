@@ -23,6 +23,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"runtime"
 
 	"github.com/xbiosip/xbiosip/internal/approx"
 	"github.com/xbiosip/xbiosip/internal/dse"
@@ -30,6 +31,7 @@ import (
 	"github.com/xbiosip/xbiosip/internal/energy"
 	"github.com/xbiosip/xbiosip/internal/metrics"
 	"github.com/xbiosip/xbiosip/internal/pantompkins"
+	"github.com/xbiosip/xbiosip/internal/sched"
 )
 
 // Quality bundles the metrics of one evaluated configuration over the
@@ -54,13 +56,20 @@ const DefaultPeakTolerance = 30
 // Evaluator evaluates pipeline configurations over a fixed record set,
 // caching the accurate reference outputs (the "behavioral model"
 // evaluation loop of the paper's tool-flow, Fig 9).
+//
+// Evaluate is safe for concurrent use and memoized through a sched
+// engine: the design-space explorer fans candidate evaluations out across
+// worker goroutines, and any design revisited — by a later phase, a
+// baseline, or another experiment over the same record set — is served
+// from the cache instead of re-simulated.
 type Evaluator struct {
 	Records []*ecg.Record
-	// Tolerance is the peak matching window in samples.
+	// Tolerance is the peak matching window in samples. Mutate it only
+	// before the first Evaluate: cached results are not invalidated.
 	Tolerance int
 
 	refFiltered [][]float64
-	evaluations int
+	eng         *sched.Evaluator[Quality]
 }
 
 // NewEvaluator prepares an evaluator over the given records.
@@ -77,21 +86,31 @@ func NewEvaluator(records []*ecg.Record) (*Evaluator, error) {
 		out := acc.Run(rec.Samples)
 		e.refFiltered = append(e.refFiltered, metrics.ToFloat(out.Filtered))
 	}
+	e.eng = sched.New(0, e.simulate)
 	return e, nil
 }
 
-// Evaluations returns the number of configuration evaluations performed
-// (the exploration-cost unit of Fig 11).
-func (e *Evaluator) Evaluations() int { return e.evaluations }
+// Evaluations returns the number of distinct pipeline simulations
+// performed (the exploration-cost unit of Fig 11); cache hits do not
+// count.
+func (e *Evaluator) Evaluations() int { return int(e.eng.Stats().Misses) }
 
-// Evaluate runs the full pipeline for cfg over every record and returns
-// the aggregated quality.
+// CacheStats returns the evaluation cache accounting.
+func (e *Evaluator) CacheStats() sched.Stats { return e.eng.Stats() }
+
+// Evaluate returns the (possibly cached) aggregated quality of cfg over
+// every record.
 func (e *Evaluator) Evaluate(cfg pantompkins.Config) (Quality, error) {
+	return e.eng.Evaluate(cfg)
+}
+
+// simulate runs the full pipeline for cfg over every record — the
+// uncached evaluation behind Evaluate.
+func (e *Evaluator) simulate(cfg pantompkins.Config) (Quality, error) {
 	p, err := pantompkins.New(cfg)
 	if err != nil {
 		return Quality{}, err
 	}
-	e.evaluations++
 	var q Quality
 	psnrSum, ssimSum := 0.0, 0.0
 	for ri, rec := range e.Records {
@@ -146,6 +165,10 @@ type Methodology struct {
 	// restricts both to a single kind (ApproxAdd5 / AppMultV1).
 	Mults []approx.MultKind
 	Adds  []approx.AdderKind
+	// Workers is the candidate-evaluation parallelism of both gates
+	// (0 = runtime.GOMAXPROCS(0), 1 = strictly sequential). The generated
+	// design is identical for every value; see package sched.
+	Workers int
 }
 
 // NewMethodology returns the paper's default setup: pre-processing =
@@ -163,6 +186,7 @@ func NewMethodology(eval *Evaluator, em *energy.Model) *Methodology {
 		LSBs:             DefaultLSBLists(),
 		Mults:            []approx.MultKind{approx.AppMultV1},
 		Adds:             []approx.AdderKind{approx.ApproxAdd5},
+		Workers:          runtime.GOMAXPROCS(0),
 	}
 	return m
 }
@@ -202,6 +226,12 @@ type Design struct {
 
 // Run executes both gates and returns the generated design.
 func (m *Methodology) Run() (*Design, error) {
+	// Resolve the documented default here: dse treats 0 as sequential,
+	// this layer promises 0 = all CPUs.
+	workers := m.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	// Gate 1: approximations in data pre-processing, judged by signal
 	// PSNR.
 	preOpt := dse.Options{
@@ -211,6 +241,7 @@ func (m *Methodology) Run() (*Design, error) {
 		Mults:      m.Mults,
 		Adds:       m.Adds,
 		Constraint: m.SignalConstraint,
+		Workers:    workers,
 	}
 	// Gate 1 candidates must not only clear the signal-quality bar but
 	// also preserve the final application quality: the paper's §6.2
@@ -242,6 +273,7 @@ func (m *Methodology) Run() (*Design, error) {
 		Mults:      m.Mults,
 		Adds:       m.Adds,
 		Constraint: m.FinalConstraint,
+		Workers:    workers,
 	}
 	evalAcc := func(cfg pantompkins.Config) (float64, error) {
 		q, err := m.Eval.Evaluate(cfg)

@@ -8,64 +8,71 @@ import (
 // Exhaustive evaluates the full cross product of the option lists over the
 // given stages jointly (the paper's "exhaustive exploration of all 9x9=81
 // possible combinations" for the pre-processing stage) and returns the
-// lowest-energy configuration satisfying the constraint.
+// lowest-energy configuration satisfying the constraint. Candidates are
+// evaluated through the scheduler like Generate's phases — the cross
+// product is embarrassingly parallel, so this baseline benefits the most
+// from Options.Workers — and the trace preserves enumeration order.
 func Exhaustive(opt Options, eval EvaluateFunc, energy StageEnergyFunc) (Result, error) {
 	if err := opt.validate(); err != nil {
 		return Result{}, err
 	}
-	e := &explorer{opt: opt, eval: eval, energy: energy, chosen: make(map[pantompkins.Stage]dsp.ArithConfig)}
+	e := newExplorer(opt, eval, energy)
+	defer e.close()
 
+	// Enumerate the full joint assignment list in the nested-loop order
+	// of the sequential recursion.
+	var assigns []map[pantompkins.Stage]dsp.ArithConfig
 	assign := make(map[pantompkins.Stage]dsp.ArithConfig, len(opt.Stages))
-	bestEnergy := 0.0
-	bestQuality := 0.0
-	found := false
-	var bestAssign map[pantompkins.Stage]dsp.ArithConfig
-
-	var rec func(idx int) error
-	rec = func(idx int) error {
+	var rec func(idx int)
+	rec = func(idx int) {
 		if idx == len(opt.Stages) {
-			q, ok, err := e.evaluate(assign, 0)
-			if err != nil {
-				return err
-			}
-			if !ok {
-				return nil
-			}
-			total := 0.0
+			snap := make(map[pantompkins.Stage]dsp.ArithConfig, len(assign))
 			for s, c := range assign {
-				en, err := energy(s, c)
-				if err != nil {
-					return err
-				}
-				total += en
+				snap[s] = c
 			}
-			if !found || total < bestEnergy {
-				found = true
-				bestEnergy = total
-				bestQuality = q
-				bestAssign = make(map[pantompkins.Stage]dsp.ArithConfig, len(assign))
-				for s, c := range assign {
-					bestAssign[s] = c
-				}
-			}
-			return nil
+			assigns = append(assigns, snap)
+			return
 		}
 		s := opt.Stages[idx]
 		for _, lsb := range opt.LSBs[s] {
 			for _, mul := range opt.Mults {
 				for _, add := range opt.Adds {
 					assign[s] = dsp.ArithConfig{LSBs: lsb, Add: add, Mul: mul}
-					if err := rec(idx + 1); err != nil {
-						return err
-					}
+					rec(idx + 1)
 				}
 			}
 		}
 		delete(assign, s)
-		return nil
 	}
-	if err := rec(0); err != nil {
+	rec(0)
+
+	qs, _, err := e.scan(assigns, 0, scanAll)
+	if err != nil {
 		return Result{}, err
+	}
+
+	bestEnergy := 0.0
+	bestQuality := 0.0
+	found := false
+	var bestAssign map[pantompkins.Stage]dsp.ArithConfig
+	for i, q := range qs {
+		if q < opt.Constraint {
+			continue
+		}
+		total := 0.0
+		for _, s := range opt.Stages {
+			en, err := energy(s, assigns[i][s])
+			if err != nil {
+				return Result{}, err
+			}
+			total += en
+		}
+		if !found || total < bestEnergy {
+			found = true
+			bestEnergy = total
+			bestQuality = q
+			bestAssign = assigns[i]
+		}
 	}
 	if found {
 		e.chosen = bestAssign
@@ -85,31 +92,45 @@ type GridPoint struct {
 }
 
 // ExhaustiveGrid evaluates every (k1, k2) pair for two stages with fixed
-// module kinds and returns the grid (Table 2's PSNR/energy matrix).
+// module kinds and returns the grid (Table 2's PSNR/energy matrix). The
+// pairs are independent, so they fan out across the scheduler when
+// Options.Workers > 1.
 func ExhaustiveGrid(opt Options, s1, s2 pantompkins.Stage, eval EvaluateFunc, energy StageEnergyFunc) ([]GridPoint, error) {
 	if err := opt.validate(); err != nil {
 		return nil, err
 	}
-	e := &explorer{opt: opt, eval: eval, energy: energy, chosen: make(map[pantompkins.Stage]dsp.ArithConfig)}
-	var grid []GridPoint
+	e := newExplorer(opt, eval, energy)
+	defer e.close()
+
+	type cell struct{ c1, c2 dsp.ArithConfig }
+	var cells []cell
+	var cands []map[pantompkins.Stage]dsp.ArithConfig
 	for _, k1 := range opt.LSBs[s1] {
 		for _, k2 := range opt.LSBs[s2] {
 			c1 := dsp.ArithConfig{LSBs: k1, Add: opt.Adds[0], Mul: opt.Mults[0]}
 			c2 := dsp.ArithConfig{LSBs: k2, Add: opt.Adds[0], Mul: opt.Mults[0]}
-			q, ok, err := e.evaluate(map[pantompkins.Stage]dsp.ArithConfig{s1: c1, s2: c2}, 0)
-			if err != nil {
-				return nil, err
-			}
-			en1, err := energy(s1, c1)
-			if err != nil {
-				return nil, err
-			}
-			en2, err := energy(s2, c2)
-			if err != nil {
-				return nil, err
-			}
-			grid = append(grid, GridPoint{K1: k1, K2: k2, Quality: q, Energy: en1 + en2, Passed: ok})
+			cells = append(cells, cell{c1, c2})
+			cands = append(cands, map[pantompkins.Stage]dsp.ArithConfig{s1: c1, s2: c2})
 		}
+	}
+	qs, _, err := e.scan(cands, 0, scanAll)
+	if err != nil {
+		return nil, err
+	}
+	var grid []GridPoint
+	for i, q := range qs {
+		en1, err := energy(s1, cells[i].c1)
+		if err != nil {
+			return nil, err
+		}
+		en2, err := energy(s2, cells[i].c2)
+		if err != nil {
+			return nil, err
+		}
+		grid = append(grid, GridPoint{
+			K1: cells[i].c1.LSBs, K2: cells[i].c2.LSBs,
+			Quality: q, Energy: en1 + en2, Passed: q >= opt.Constraint,
+		})
 	}
 	return grid, nil
 }

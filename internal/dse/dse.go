@@ -9,6 +9,16 @@
 // the caller-supplied stage energy model. It deliberately evaluates only a
 // small number of design points (11 instead of 81 for the paper's
 // pre-processing case) rather than searching for a Pareto-optimal front.
+//
+// Candidate evaluation — a full pipeline simulation per design — is the
+// dominant cost, so every explorer routes its candidates through a
+// sched.Evaluator: each phase's candidate sequence is enumerated up front
+// and evaluated speculatively in parallel chunks, then walked in order so
+// the trace, the evaluation count and the selected design are identical
+// to the sequential algorithm regardless of worker count. The engine's
+// memoizing cache additionally guarantees that designs revisited within a
+// run, or shared between Algorithm 1 and the baselines, are simulated
+// only once.
 package dse
 
 import (
@@ -18,11 +28,14 @@ import (
 	"github.com/xbiosip/xbiosip/internal/approx"
 	"github.com/xbiosip/xbiosip/internal/dsp"
 	"github.com/xbiosip/xbiosip/internal/pantompkins"
+	"github.com/xbiosip/xbiosip/internal/sched"
 )
 
 // EvaluateFunc returns the application quality of a full pipeline
 // configuration (PSNR for the pre-processing gate, peak detection accuracy
-// for the final gate — the caller chooses the metric).
+// for the final gate — the caller chooses the metric). When the explorer
+// runs with Workers > 1 or an external Engine, the function must be
+// deterministic and safe for concurrent use.
 type EvaluateFunc func(cfg pantompkins.Config) (float64, error)
 
 // StageEnergyFunc returns the per-operation energy of one stage
@@ -48,6 +61,21 @@ type Options struct {
 	// Constraint is the quality constraint the generated design must
 	// satisfy (same units as the EvaluateFunc).
 	Constraint float64
+
+	// Workers sets the evaluation parallelism: 0 or 1 evaluates candidates
+	// strictly sequentially (exactly one evaluation per traced candidate);
+	// > 1 evaluates candidate chunks concurrently and may speculatively
+	// simulate designs past a phase's stopping point (the speculated
+	// results stay in the cache and are not traced). The result is
+	// identical for every value.
+	Workers int
+	// Engine, when non-nil, is a caller-shared evaluation engine used
+	// instead of a run-private one; its function must agree with the
+	// EvaluateFunc passed alongside it. Sharing one engine across runs
+	// (e.g. the exhaustive baseline and Algorithm 1 over one record set)
+	// extends the never-evaluate-a-design-twice guarantee across them.
+	// The explorer does not close a caller-provided engine.
+	Engine *sched.Evaluator[float64]
 }
 
 // Candidate is one evaluated design point (for exploration traces).
@@ -67,6 +95,8 @@ type Result struct {
 	Quality float64
 	// Evaluations counts quality evaluations performed (the paper's
 	// exploration-cost unit: one evaluation simulates a full recording).
+	// Speculative or cache-served evaluations of the parallel engine do
+	// not change this count: it is the sequential algorithm's cost.
 	Evaluations int
 	// Explored traces every evaluated candidate in order.
 	Explored []Candidate
@@ -97,8 +127,31 @@ type explorer struct {
 	opt    Options
 	eval   EvaluateFunc
 	energy StageEnergyFunc
+	eng    *sched.Evaluator[float64] // nil for strictly sequential runs
+	ownEng bool                      // whether the explorer must close eng
 	chosen map[pantompkins.Stage]dsp.ArithConfig
 	result Result
+}
+
+// newExplorer wires the evaluation engine per Options: a caller-shared
+// engine, a run-private pool for Workers > 1, or none (sequential).
+func newExplorer(opt Options, eval EvaluateFunc, energy StageEnergyFunc) *explorer {
+	e := &explorer{opt: opt, eval: eval, energy: energy, chosen: make(map[pantompkins.Stage]dsp.ArithConfig)}
+	switch {
+	case opt.Engine != nil:
+		e.eng = opt.Engine
+	case opt.Workers > 1:
+		e.eng = sched.New(opt.Workers, sched.Func[float64](eval))
+		e.ownEng = true
+	}
+	return e
+}
+
+// close releases a run-private engine.
+func (e *explorer) close() {
+	if e.ownEng {
+		e.eng.Close()
+	}
 }
 
 // config materialises the pipeline configuration with the current chosen
@@ -114,45 +167,128 @@ func (e *explorer) config(overrides map[pantompkins.Stage]dsp.ArithConfig) panto
 	return cfg
 }
 
-// evaluate runs the quality function and traces the candidate.
-func (e *explorer) evaluate(overrides map[pantompkins.Stage]dsp.ArithConfig, phase int) (float64, bool, error) {
-	cfg := e.config(overrides)
-	q, err := e.eval(cfg)
-	if err != nil {
-		return 0, false, err
+// evalOne evaluates a single configuration through the engine (memoized)
+// or directly when running sequentially.
+func (e *explorer) evalOne(cfg pantompkins.Config) (float64, error) {
+	if e.eng != nil {
+		return e.eng.Evaluate(cfg)
 	}
-	passed := q >= e.opt.Constraint
-	e.result.Evaluations++
-	e.result.Explored = append(e.result.Explored, Candidate{Config: cfg, Quality: q, Passed: passed, Phase: phase})
-	return q, passed, nil
+	return e.eval(cfg)
 }
 
-// maxSavings estimates a stage's maximum achievable energy savings (used
-// for the AscendingSort of line 3): accurate energy divided by the energy
-// at maximum approximation.
-func (e *explorer) maxSavings(s pantompkins.Stage) (float64, error) {
-	base, err := e.energy(s, dsp.Accurate())
-	if err != nil {
-		return 0, err
+// evalChunk evaluates a slice of configurations, in parallel when an
+// engine is available.
+func (e *explorer) evalChunk(cfgs []pantompkins.Config) ([]float64, error) {
+	if e.eng != nil {
+		return e.eng.EvaluateBatch(cfgs)
 	}
-	most := dsp.ArithConfig{LSBs: e.opt.LSBs[s][0], Add: e.opt.Adds[0], Mul: e.opt.Mults[0]}
-	app, err := e.energy(s, most)
-	if err != nil {
-		return 0, err
+	out := make([]float64, len(cfgs))
+	for i, cfg := range cfgs {
+		q, err := e.eval(cfg)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = q
 	}
-	if app <= 0 {
-		return 1e18, nil
+	return out, nil
+}
+
+// scanMode states when an ordered candidate scan stops.
+type scanMode int
+
+const (
+	scanAll    scanMode = iota // evaluate and trace every candidate
+	stopOnPass                 // stop at the first constraint-satisfying candidate
+	stopOnFail                 // stop at the first violating candidate
+)
+
+// scan evaluates the candidate overrides in order, tracing each under the
+// given phase, until the mode's stopping condition fires (the stopping
+// candidate is traced too). It returns the traced qualities and the index
+// the scan stopped at (-1 if it ran through). With an engine, candidates
+// are evaluated speculatively — scanAll mode has no stopping condition,
+// so its whole list goes out as one batch; the stopping modes go out in
+// chunks of twice the worker count to bound wasted work. Results past
+// the stopping point are cached but not traced, so the trace is
+// identical to a sequential scan. So is error behaviour: a failed batch
+// is replayed in order from the cache, and only an error the sequential
+// walk would have reached (no stop before it) propagates.
+func (e *explorer) scan(cands []map[pantompkins.Stage]dsp.ArithConfig, phase int, mode scanMode) ([]float64, int, error) {
+	cfgs := make([]pantompkins.Config, len(cands))
+	for i, ov := range cands {
+		cfgs[i] = e.config(ov)
 	}
-	return base / app, nil
+	chunk := 1
+	if e.eng != nil {
+		chunk = 2 * e.eng.Workers()
+		if mode == scanAll {
+			chunk = len(cfgs) // no stopping point, no reason for barriers
+		}
+	}
+	if chunk < 1 {
+		chunk = 1
+	}
+	qs := make([]float64, 0, len(cfgs))
+	// step traces one candidate and reports whether the scan stops here.
+	step := func(idx int, q float64) bool {
+		passed := q >= e.opt.Constraint
+		e.result.Evaluations++
+		e.result.Explored = append(e.result.Explored, Candidate{Config: cfgs[idx], Quality: q, Passed: passed, Phase: phase})
+		qs = append(qs, q)
+		return (mode == stopOnPass && passed) || (mode == stopOnFail && !passed)
+	}
+	for lo := 0; lo < len(cfgs); lo += chunk {
+		hi := lo + chunk
+		if hi > len(cfgs) {
+			hi = len(cfgs)
+		}
+		batch, err := e.evalChunk(cfgs[lo:hi])
+		if err != nil {
+			if e.eng == nil {
+				// Sequential evaluation stops exactly at the failing
+				// candidate; nothing was speculated.
+				return nil, 0, err
+			}
+			// The batch error may come from a candidate the sequential
+			// algorithm never reaches (past the stopping point). Replay
+			// the chunk in order against the cache so only sequentially
+			// reachable errors propagate.
+			for idx := lo; idx < hi; idx++ {
+				q, err := e.eng.Evaluate(cfgs[idx])
+				if err != nil {
+					return nil, 0, err
+				}
+				if step(idx, q) {
+					return qs, idx, nil
+				}
+			}
+			continue
+		}
+		for i, q := range batch {
+			if step(lo+i, q) {
+				return qs, lo + i, nil
+			}
+		}
+	}
+	return qs, -1, nil
+}
+
+// override builds a single-stage override map.
+func override(s pantompkins.Stage, c dsp.ArithConfig) map[pantompkins.Stage]dsp.ArithConfig {
+	return map[pantompkins.Stage]dsp.ArithConfig{s: c}
 }
 
 // Generate runs the three-phase design generation methodology (paper
-// Algorithm 1) and returns the selected configuration.
+// Algorithm 1) and returns the selected configuration. With Options.Workers
+// > 1 (or a shared Options.Engine) candidate evaluations fan out across
+// the scheduler's worker pool; the outcome is identical to the sequential
+// run in every field.
 func Generate(opt Options, eval EvaluateFunc, energy StageEnergyFunc) (Result, error) {
 	if err := opt.validate(); err != nil {
 		return Result{}, err
 	}
-	e := &explorer{opt: opt, eval: eval, energy: energy, chosen: make(map[pantompkins.Stage]dsp.ArithConfig)}
+	e := newExplorer(opt, eval, energy)
+	defer e.close()
 
 	// Line 3: sort the stage list ascending by maximum energy savings.
 	stages := append([]pantompkins.Stage(nil), opt.Stages...)
@@ -186,26 +322,28 @@ func Generate(opt Options, eval EvaluateFunc, energy StageEnergyFunc) (Result, e
 	// Phase 1 (lines 4-16): first stage, from maximum approximation down,
 	// accept the first design that satisfies the constraint.
 	first := stages[0]
-	var stage1 []scored
-phase1:
+	var arch1 []dsp.ArithConfig
+	var cands1 []map[pantompkins.Stage]dsp.ArithConfig
 	for _, lsb := range opt.LSBs[first] {
 		for _, mul := range opt.Mults {
 			for _, add := range opt.Adds {
 				cand := dsp.ArithConfig{LSBs: lsb, Add: add, Mul: mul}
-				_, ok, err := e.evaluate(map[pantompkins.Stage]dsp.ArithConfig{first: cand}, 1)
-				if err != nil {
-					return Result{}, err
-				}
-				if ok {
-					en, err := stageEnergy(first, cand)
-					if err != nil {
-						return Result{}, err
-					}
-					stage1 = append(stage1, scored{cand, en})
-					break phase1
-				}
+				arch1 = append(arch1, cand)
+				cands1 = append(cands1, override(first, cand))
 			}
 		}
+	}
+	_, hit, err := e.scan(cands1, 1, stopOnPass)
+	if err != nil {
+		return Result{}, err
+	}
+	var stage1 []scored
+	if hit >= 0 {
+		en, err := stageEnergy(first, arch1[hit])
+		if err != nil {
+			return Result{}, err
+		}
+		stage1 = append(stage1, scored{arch1[hit], en})
 	}
 	if c, ok := best(first, stage1); ok {
 		e.chosen[first] = c
@@ -215,30 +353,36 @@ phase1:
 	for i := 1; i < len(stages); i++ {
 		cur := stages[i]
 		prev := stages[i-1]
-		var stage2 []scored
 
 		// Phase 2: iterate the reversed lists (least-to-highest
 		// approximation), storing designs while the constraint holds.
-	phase2:
+		var arch2 []dsp.ArithConfig
+		var cands2 []map[pantompkins.Stage]dsp.ArithConfig
 		for li := len(opt.LSBs[cur]) - 1; li >= 0; li-- {
 			lsb := opt.LSBs[cur][li]
 			for mi := len(opt.Mults) - 1; mi >= 0; mi-- {
 				for ai := len(opt.Adds) - 1; ai >= 0; ai-- {
 					cand := dsp.ArithConfig{LSBs: lsb, Add: opt.Adds[ai], Mul: opt.Mults[mi]}
-					_, ok, err := e.evaluate(map[pantompkins.Stage]dsp.ArithConfig{cur: cand}, 2)
-					if err != nil {
-						return Result{}, err
-					}
-					if !ok {
-						break phase2
-					}
-					en, err := stageEnergy(cur, cand)
-					if err != nil {
-						return Result{}, err
-					}
-					stage2 = append(stage2, scored{cand, en})
+					arch2 = append(arch2, cand)
+					cands2 = append(cands2, override(cur, cand))
 				}
 			}
+		}
+		_, fail, err := e.scan(cands2, 2, stopOnFail)
+		if err != nil {
+			return Result{}, err
+		}
+		passing := len(arch2)
+		if fail >= 0 {
+			passing = fail // candidates before the first failure passed
+		}
+		var stage2 []scored
+		for _, cand := range arch2[:passing] {
+			en, err := stageEnergy(cur, cand)
+			if err != nil {
+				return Result{}, err
+			}
+			stage2 = append(stage2, scored{cand, en})
 		}
 
 		// Phase 3: diagonal traversal — trade LSBs from the previous
@@ -246,6 +390,8 @@ phase1:
 		// pseudo-code recomputes LSB1/LSB2 from the stored architecture
 		// each iteration, which would not advance; we walk the diagonal
 		// progressively, which is the evident intent. See DESIGN.md §8.)
+		// The whole diagonal is evaluated unconditionally, so it is one
+		// scanAll batch.
 		k1 := e.chosen[prev].LSBs
 		k2 := 0
 		if len(stage2) > 0 {
@@ -260,6 +406,9 @@ phase1:
 			}
 			stage1 = append(stage1, scored{c, en})
 		}
+		type pair struct{ c1, c2 dsp.ArithConfig }
+		var pairs []pair
+		var cands3 []map[pantompkins.Stage]dsp.ArithConfig
 		for k1 >= 2 && k2+2 <= maxK2 {
 			k1 -= 2
 			k2 += 2
@@ -267,24 +416,29 @@ phase1:
 				for _, add := range opt.Adds {
 					c1 := dsp.ArithConfig{LSBs: k1, Add: add, Mul: mul}
 					c2 := dsp.ArithConfig{LSBs: k2, Add: add, Mul: mul}
-					_, ok, err := e.evaluate(map[pantompkins.Stage]dsp.ArithConfig{prev: c1, cur: c2}, 3)
-					if err != nil {
-						return Result{}, err
-					}
-					if ok {
-						en1, err := stageEnergy(prev, c1)
-						if err != nil {
-							return Result{}, err
-						}
-						en2, err := stageEnergy(cur, c2)
-						if err != nil {
-							return Result{}, err
-						}
-						stage1 = append(stage1, scored{c1, en1})
-						stage2 = append(stage2, scored{c2, en2})
-					}
+					pairs = append(pairs, pair{c1, c2})
+					cands3 = append(cands3, map[pantompkins.Stage]dsp.ArithConfig{prev: c1, cur: c2})
 				}
 			}
+		}
+		qs, _, err := e.scan(cands3, 3, scanAll)
+		if err != nil {
+			return Result{}, err
+		}
+		for pi, q := range qs {
+			if q < opt.Constraint {
+				continue
+			}
+			en1, err := stageEnergy(prev, pairs[pi].c1)
+			if err != nil {
+				return Result{}, err
+			}
+			en2, err := stageEnergy(cur, pairs[pi].c2)
+			if err != nil {
+				return Result{}, err
+			}
+			stage1 = append(stage1, scored{pairs[pi].c1, en1})
+			stage2 = append(stage2, scored{pairs[pi].c2, en2})
 		}
 
 		// Lines 47-48: keep the lowest-energy architecture per array.
@@ -303,7 +457,7 @@ phase1:
 	// back to the lowest-energy candidate that actually passed evaluation
 	// (see DESIGN.md §8).
 	final := e.config(nil)
-	q, err := e.eval(final)
+	q, err := e.evalOne(final)
 	if err != nil {
 		return Result{}, err
 	}
@@ -317,6 +471,25 @@ phase1:
 	e.result.Config = final
 	e.result.Quality = q
 	return e.result, nil
+}
+
+// maxSavings estimates a stage's maximum achievable energy savings (used
+// for the AscendingSort of line 3): accurate energy divided by the energy
+// at maximum approximation.
+func (e *explorer) maxSavings(s pantompkins.Stage) (float64, error) {
+	base, err := e.energy(s, dsp.Accurate())
+	if err != nil {
+		return 0, err
+	}
+	most := dsp.ArithConfig{LSBs: e.opt.LSBs[s][0], Add: e.opt.Adds[0], Mul: e.opt.Mults[0]}
+	app, err := e.energy(s, most)
+	if err != nil {
+		return 0, err
+	}
+	if app <= 0 {
+		return 1e18, nil
+	}
+	return base / app, nil
 }
 
 // bestPassing returns the explored passing candidate with the lowest total

@@ -1,6 +1,7 @@
 package dse
 
 import (
+	"errors"
 	"math"
 	"testing"
 
@@ -170,6 +171,50 @@ func TestGenerateValidation(t *testing.T) {
 	opt.LSBs[pantompkins.LPF] = []int{2, 4} // not descending
 	if _, err := Generate(opt, nil, nil); err == nil {
 		t.Error("non-descending LSB list accepted")
+	}
+}
+
+// TestSpeculativeErrorDoesNotAbortParallelRun: with workers > 1 the
+// engine speculatively evaluates candidates past a scan's stopping point;
+// an error among those speculated designs must not fail a run the
+// sequential algorithm completes.
+func TestSpeculativeErrorDoesNotAbortParallelRun(t *testing.T) {
+	eval := func(cfg pantompkins.Config) (float64, error) {
+		k := cfg.Stage[pantompkins.LPF].LSBs
+		if k == 14 {
+			// Phase 1 scans k descending: 16 passes first, so the
+			// sequential walk never evaluates 14 — only speculation does.
+			return 0, errors.New("broken design k=14")
+		}
+		return 100 - float64(k), nil
+	}
+	opt := defaultOptions(50, pantompkins.LPF)
+	seq, err := Generate(opt, eval, syntheticEnergy(nil))
+	if err != nil {
+		t.Fatalf("sequential run failed: %v", err)
+	}
+	if seq.Config.Stage[pantompkins.LPF].LSBs != 16 {
+		t.Fatalf("sequential selected k=%d, want 16", seq.Config.Stage[pantompkins.LPF].LSBs)
+	}
+	opt.Workers = 4
+	par, err := Generate(opt, eval, syntheticEnergy(nil))
+	if err != nil {
+		t.Fatalf("parallel run aborted on a speculated error: %v", err)
+	}
+	if par.Config != seq.Config || par.Evaluations != seq.Evaluations {
+		t.Errorf("parallel result %v (%d evals) differs from sequential %v (%d evals)",
+			par.Config, par.Evaluations, seq.Config, seq.Evaluations)
+	}
+
+	// An error the sequential walk DOES reach must still propagate: make
+	// every candidate fail the constraint so the scan reaches k=14.
+	opt.Constraint = 1000
+	if _, err := Generate(opt, eval, syntheticEnergy(nil)); err == nil {
+		t.Error("reachable evaluation error was swallowed by the parallel path")
+	}
+	opt.Workers = 0
+	if _, err := Generate(opt, eval, syntheticEnergy(nil)); err == nil {
+		t.Error("reachable evaluation error was swallowed by the sequential path")
 	}
 }
 

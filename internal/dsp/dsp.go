@@ -247,6 +247,11 @@ func NewSquarer(outShift int, cfg ArithConfig) (*Squarer, error) {
 	return &Squarer{tab: tab, outShift: outShift}, nil
 }
 
+// Reset is a no-op: the squarer is combinational (no delay line). It
+// exists so all stages share the Reset/Process per-sample interface the
+// streaming pipeline drives.
+func (s *Squarer) Reset() {}
+
 // Process squares one sample.
 func (s *Squarer) Process(x int64) int64 {
 	return s.tab.Square(x) >> uint(s.outShift)

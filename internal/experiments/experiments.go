@@ -7,6 +7,7 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 
 	"github.com/xbiosip/xbiosip/internal/approx"
@@ -28,6 +29,10 @@ type Setup struct {
 	// (the paper restricts §6 to ApproxAdd5 and AppMultV1).
 	Add approx.AdderKind
 	Mul approx.MultKind
+	// Workers is the candidate-evaluation parallelism the design-space
+	// explorations run with (0 = GOMAXPROCS, 1 = sequential). Results are
+	// identical for every value; see package sched.
+	Workers int
 }
 
 // NewSetup builds the environment over the first numRecords NSRDB-like
@@ -59,7 +64,17 @@ func NewSetup(numRecords, n int) (*Setup, error) {
 		Energy:  energy.NewModel(stim),
 		Add:     approx.ApproxAdd5,
 		Mul:     approx.AppMultV1,
+		Workers: runtime.GOMAXPROCS(0),
 	}, nil
+}
+
+// workers resolves the Setup's worker count to the documented default
+// (0 = all CPUs); dse.Options itself treats 0 as sequential.
+func (s *Setup) workers() int {
+	if s.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return s.Workers
 }
 
 // stageCfg builds the stage configuration with the setup's module kinds.

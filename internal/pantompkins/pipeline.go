@@ -61,7 +61,10 @@ func New(cfg Config) (*Pipeline, error) {
 // Config returns the pipeline's approximation configuration.
 func (p *Pipeline) Config() Config { return p.cfg }
 
-// Run processes raw ADC samples through all five stages.
+// Run processes raw ADC samples through all five stages, whole-array
+// stage by stage from cleared delay lines (the batch path). For
+// sample-at-a-time processing of a live signal use Reset and Push, whose
+// outputs are bit-identical to Run's.
 func (p *Pipeline) Run(samples []int16) *Outputs {
 	xs := make([]int64, len(samples))
 	for i, s := range samples {
@@ -74,6 +77,54 @@ func (p *Pipeline) Run(samples []int16) *Outputs {
 	out.Squared = p.sqr.Filter(out.Derivative)
 	out.Integrated = p.mwi.Filter(out.Squared)
 	return out
+}
+
+// StreamSample is the per-stage output delta one Push produces: every
+// stage is causal and one-in-one-out, so each raw sample yields exactly
+// one new sample of every intermediate signal.
+type StreamSample struct {
+	LowPassed  int64
+	Filtered   int64
+	Derivative int64
+	Squared    int64
+	Integrated int64
+}
+
+// Reset clears every stage's delay line so the pipeline can start a new
+// record or a fresh live stream. A freshly built pipeline is already
+// reset.
+func (p *Pipeline) Reset() {
+	p.lpf.Reset()
+	p.hpf.Reset()
+	p.der.Reset()
+	p.sqr.Reset()
+	p.mwi.Reset()
+}
+
+// Push feeds one raw ADC sample through all five stages and returns the
+// new sample of each intermediate signal. Pushing a record sample by
+// sample from a reset pipeline produces bit-identical signals to Run on
+// the whole record: this is the streaming entry point for near-sensor
+// deployments where samples arrive one at a time.
+func (p *Pipeline) Push(x int16) StreamSample {
+	var s StreamSample
+	s.LowPassed = p.lpf.Process(int64(x))
+	s.Filtered = p.hpf.Process(s.LowPassed)
+	s.Derivative = p.der.Process(s.Filtered)
+	s.Squared = p.sqr.Process(s.Derivative)
+	s.Integrated = p.mwi.Process(s.Squared)
+	return s
+}
+
+// Append accumulates one streamed sample onto the collected outputs, so
+// streaming callers can build the same Outputs batch processing returns
+// (e.g. to run detection over a completed window or record).
+func (o *Outputs) Append(s StreamSample) {
+	o.LowPassed = append(o.LowPassed, s.LowPassed)
+	o.Filtered = append(o.Filtered, s.Filtered)
+	o.Derivative = append(o.Derivative, s.Derivative)
+	o.Squared = append(o.Squared, s.Squared)
+	o.Integrated = append(o.Integrated, s.Integrated)
 }
 
 // Result bundles a pipeline run with its detection outcome.

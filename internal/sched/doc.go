@@ -1,0 +1,34 @@
+// Package sched is the concurrent design-evaluation engine behind the
+// design-space exploration (package dse) and the quality evaluator
+// (package core).
+//
+// Evaluating one candidate design means simulating the full Pan-Tompkins
+// pipeline over every evaluation record — by far the dominant cost of
+// XBioSiP's methodology (the paper budgets 300 s per evaluation, §6.1),
+// and embarrassingly parallel across candidates. Evaluator fans those
+// evaluations out over a fixed worker pool and memoizes every result:
+//
+//   - The pool holds Workers goroutines (default runtime.GOMAXPROCS(0)).
+//     Evaluate computes misses inline in the caller; EvaluateBatch
+//     schedules misses onto the pool and returns results in input order.
+//
+//   - The cache is keyed by Canonical(cfg): a stage with zero approximated
+//     LSBs clears its elementary adder/multiplier kinds, because the
+//     arithmetic models are exact at k=0 whatever the kinds, so all
+//     spellings of "accurate stage" share one entry. Algorithm 1's three
+//     phases and the exhaustive/heuristic baselines revisit many of the
+//     same design points; through the cache each distinct design is
+//     simulated exactly once per record set.
+//
+//   - Results are deterministic regardless of worker count: each design's
+//     value is computed by a single in-flight call (concurrent requests
+//     wait on it), batches preserve input order, and on failure the error
+//     of the lowest-index failing configuration wins.
+//
+// Choosing a worker count: evaluations are CPU-bound bit-true simulation,
+// so the default of GOMAXPROCS saturates the machine; use 1 to reproduce
+// strictly sequential seed behaviour (useful for debugging), and there is
+// no benefit above GOMAXPROCS. The evaluation function must be
+// deterministic and safe for concurrent use, and must not call back into
+// the same pool (nested batches can exhaust the workers and deadlock).
+package sched

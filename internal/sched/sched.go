@@ -1,0 +1,180 @@
+package sched
+
+import (
+	"runtime"
+	"sync"
+
+	"github.com/xbiosip/xbiosip/internal/dsp"
+	"github.com/xbiosip/xbiosip/internal/pantompkins"
+)
+
+// Func computes one value (a quality metric, a full quality record, ...)
+// for one pipeline configuration. It must be deterministic and safe for
+// concurrent use: the engine calls it from multiple workers and caches the
+// result per canonical configuration.
+type Func[V any] func(cfg pantompkins.Config) (V, error)
+
+// Stats is a snapshot of an evaluator's cache accounting.
+type Stats struct {
+	// Hits counts requests answered from the cache (including requests
+	// that waited for an in-flight computation of the same design).
+	Hits int64
+	// Misses counts requests that triggered a computation; it equals the
+	// number of distinct canonical designs evaluated.
+	Misses int64
+}
+
+// Canonical returns the memoization key of a configuration: per stage,
+// zero approximated LSBs means the elementary adder/multiplier kinds are
+// dead parameters (both arith.Adder and arith.Multiplier are exact when
+// ApproxLSBs == 0), so they are cleared. Configurations that generate the
+// same hardware therefore share one cache entry.
+func Canonical(cfg pantompkins.Config) pantompkins.Config {
+	for i := range cfg.Stage {
+		if cfg.Stage[i].LSBs == 0 {
+			cfg.Stage[i] = dsp.ArithConfig{}
+		}
+	}
+	return cfg
+}
+
+// entry is one memoized evaluation; done is closed once q/err are final.
+type entry[V any] struct {
+	done chan struct{}
+	q    V
+	err  error
+}
+
+// Evaluator fans configuration evaluations out across a fixed pool of
+// workers and memoizes every result by canonical configuration, so a
+// design revisited by any caller — Algorithm 1's phases, the exhaustive
+// and heuristic baselines, repeated experiments over one record set — is
+// never evaluated twice.
+//
+// All methods are safe for concurrent use. Close releases the workers;
+// it must not be called while evaluations are in flight.
+type Evaluator[V any] struct {
+	fn      Func[V]
+	workers int
+	jobs    chan func()
+
+	mu    sync.Mutex
+	cache map[pantompkins.Config]*entry[V]
+	stats Stats
+
+	poolOnce  sync.Once
+	closeOnce sync.Once
+}
+
+// New builds an engine over fn with the given worker count; workers <= 0
+// selects runtime.GOMAXPROCS(0). The worker goroutines start lazily on
+// the first EvaluateBatch, so an engine used only for its memoizing cache
+// (single Evaluate calls compute inline) costs no goroutines.
+func New[V any](workers int, fn Func[V]) *Evaluator[V] {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Evaluator[V]{
+		fn:      fn,
+		workers: workers,
+		jobs:    make(chan func()),
+		cache:   make(map[pantompkins.Config]*entry[V]),
+	}
+}
+
+// pool returns the job channel, starting the workers on first use.
+func (e *Evaluator[V]) pool() chan<- func() {
+	e.poolOnce.Do(func() {
+		for i := 0; i < e.workers; i++ {
+			go func() {
+				for job := range e.jobs {
+					job()
+				}
+			}()
+		}
+	})
+	return e.jobs
+}
+
+// Workers returns the pool size.
+func (e *Evaluator[V]) Workers() int { return e.workers }
+
+// Stats returns a snapshot of the cache accounting.
+func (e *Evaluator[V]) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// Close stops the worker pool. The cache stays readable: evaluations of
+// already-computed designs still succeed, but a miss after Close panics.
+func (e *Evaluator[V]) Close() {
+	e.closeOnce.Do(func() { close(e.jobs) })
+}
+
+// lookup claims or finds the cache entry for cfg; owned reports whether
+// the caller must compute it (and close its done channel).
+func (e *Evaluator[V]) lookup(cfg pantompkins.Config) (ent *entry[V], owned bool) {
+	key := Canonical(cfg)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if ent, ok := e.cache[key]; ok {
+		e.stats.Hits++
+		return ent, false
+	}
+	ent = &entry[V]{done: make(chan struct{})}
+	e.cache[key] = ent
+	e.stats.Misses++
+	return ent, true
+}
+
+// Evaluate returns the (possibly cached) value of one configuration. A
+// miss is computed in the calling goroutine; concurrent requests for the
+// same design wait for the single in-flight computation.
+func (e *Evaluator[V]) Evaluate(cfg pantompkins.Config) (V, error) {
+	ent, owned := e.lookup(cfg)
+	if owned {
+		ent.q, ent.err = e.fn(cfg)
+		close(ent.done)
+	} else {
+		<-ent.done
+	}
+	return ent.q, ent.err
+}
+
+// EvaluateBatch evaluates every configuration concurrently across the
+// worker pool and returns the results in input order. Duplicate and
+// already-cached designs are computed at most once. If any evaluation
+// fails, the batch still drains (no goroutine or pool state leaks) and the
+// error of the lowest-index failing configuration is returned, so the
+// outcome is deterministic regardless of worker count.
+func (e *Evaluator[V]) EvaluateBatch(cfgs []pantompkins.Config) ([]V, error) {
+	entries := make([]*entry[V], len(cfgs))
+	jobs := e.pool()
+	var wg sync.WaitGroup
+	for i, cfg := range cfgs {
+		ent, owned := e.lookup(cfg)
+		entries[i] = ent
+		if !owned {
+			continue
+		}
+		cfg := cfg
+		wg.Add(1)
+		jobs <- func() {
+			defer wg.Done()
+			ent.q, ent.err = e.fn(cfg)
+			close(ent.done)
+		}
+	}
+	wg.Wait()
+	out := make([]V, len(cfgs))
+	for i, ent := range entries {
+		// Entries owned by a concurrent batch may still be in flight.
+		<-ent.done
+		if ent.err != nil {
+			return nil, ent.err
+		}
+		out[i] = ent.q
+	}
+	return out, nil
+}

@@ -1,0 +1,237 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"github.com/xbiosip/xbiosip/internal/approx"
+	"github.com/xbiosip/xbiosip/internal/dsp"
+	"github.com/xbiosip/xbiosip/internal/pantompkins"
+)
+
+// cfgK builds a configuration with the given per-stage LSB counts and
+// fixed module kinds.
+func cfgK(ks [pantompkins.NumStages]int) pantompkins.Config {
+	var cfg pantompkins.Config
+	for i, s := range pantompkins.Stages {
+		if ks[i] > 0 {
+			cfg.Stage[s] = dsp.ArithConfig{LSBs: ks[i], Add: approx.ApproxAdd5, Mul: approx.AppMultV1}
+		}
+	}
+	return cfg
+}
+
+// quality is a cheap deterministic stand-in for pipeline simulation.
+func quality(cfg pantompkins.Config) (float64, error) {
+	q := 100.0
+	for _, s := range pantompkins.Stages {
+		q -= float64(cfg.Stage[s].LSBs)
+	}
+	return q, nil
+}
+
+func TestEvaluateMemoizes(t *testing.T) {
+	var calls atomic.Int64
+	e := New(4, func(cfg pantompkins.Config) (float64, error) {
+		calls.Add(1)
+		return quality(cfg)
+	})
+	defer e.Close()
+
+	cfg := cfgK([pantompkins.NumStages]int{2, 4, 0, 0, 8})
+	want := 100.0 - 14
+	for i := 0; i < 5; i++ {
+		q, err := e.Evaluate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if q != want {
+			t.Fatalf("quality %v, want %v", q, want)
+		}
+	}
+	if n := calls.Load(); n != 1 {
+		t.Errorf("function called %d times, want 1", n)
+	}
+	st := e.Stats()
+	if st.Misses != 1 || st.Hits != 4 {
+		t.Errorf("stats %+v, want 1 miss / 4 hits", st)
+	}
+}
+
+func TestCanonicalSharesAccurateSpellings(t *testing.T) {
+	var calls atomic.Int64
+	e := New(2, func(cfg pantompkins.Config) (float64, error) {
+		calls.Add(1)
+		return quality(cfg)
+	})
+	defer e.Close()
+
+	// k=0 with different module kinds is the same hardware: one entry.
+	a := pantompkins.AccurateConfig()
+	b := pantompkins.AccurateConfig()
+	b.Stage[pantompkins.LPF] = dsp.ArithConfig{LSBs: 0, Add: approx.ApproxAdd5, Mul: approx.AppMultV1}
+	if Canonical(a) != Canonical(b) {
+		t.Fatal("canonical forms differ for equivalent accurate configs")
+	}
+	if _, err := e.Evaluate(a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Evaluate(b); err != nil {
+		t.Fatal(err)
+	}
+	if n := calls.Load(); n != 1 {
+		t.Errorf("equivalent accurate spellings evaluated %d times, want 1", n)
+	}
+	// A genuinely approximated stage must NOT collapse onto the accurate
+	// entry.
+	c := cfgK([pantompkins.NumStages]int{2, 0, 0, 0, 0})
+	if Canonical(c) == Canonical(a) {
+		t.Fatal("approximate config canonicalized onto the accurate one")
+	}
+}
+
+func TestBatchOrderAndDedup(t *testing.T) {
+	var calls atomic.Int64
+	e := New(4, func(cfg pantompkins.Config) (float64, error) {
+		calls.Add(1)
+		return quality(cfg)
+	})
+	defer e.Close()
+
+	var cfgs []pantompkins.Config
+	var want []float64
+	for k := 0; k <= 16; k += 2 {
+		c := cfgK([pantompkins.NumStages]int{k, 0, 0, 0, 0})
+		cfgs = append(cfgs, c, c) // duplicate every design in the batch
+		want = append(want, 100-float64(k), 100-float64(k))
+	}
+	got, err := e.EvaluateBatch(cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("batch[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if n := calls.Load(); n != 9 {
+		t.Errorf("function called %d times for 9 distinct designs, want 9", n)
+	}
+}
+
+// TestDeterminismAcrossWorkerCounts runs the same mixed workload through a
+// 1-worker and an 8-worker engine (plus concurrent batch callers, which
+// -race scrutinises) and demands identical results.
+func TestDeterminismAcrossWorkerCounts(t *testing.T) {
+	workload := func() []pantompkins.Config {
+		var cfgs []pantompkins.Config
+		for k := 16; k >= 0; k -= 2 {
+			for j := 0; j <= 4; j += 2 {
+				cfgs = append(cfgs, cfgK([pantompkins.NumStages]int{k, j, 0, j, k}))
+			}
+		}
+		return cfgs
+	}
+	run := func(workers int) []float64 {
+		e := New(workers, quality)
+		defer e.Close()
+		var wg sync.WaitGroup
+		results := make([][]float64, 4)
+		errs := make([]error, 4)
+		for g := 0; g < 4; g++ {
+			g := g
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				results[g], errs[g] = e.EvaluateBatch(workload())
+			}()
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		for g := 1; g < 4; g++ {
+			for i := range results[0] {
+				if results[g][i] != results[0][i] {
+					t.Fatalf("concurrent callers disagree at %d", i)
+				}
+			}
+		}
+		return results[0]
+	}
+	seq := run(1)
+	par := run(8)
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Fatalf("worker-count dependent result at %d: %v vs %v", i, seq[i], par[i])
+		}
+	}
+}
+
+// TestErrorPropagation checks that a failing evaluation aborts the batch
+// with a deterministic error, leaves the pool usable, and caches the
+// failure.
+func TestErrorPropagation(t *testing.T) {
+	bad1 := cfgK([pantompkins.NumStages]int{2, 0, 0, 0, 0})
+	bad2 := cfgK([pantompkins.NumStages]int{4, 0, 0, 0, 0})
+	var calls atomic.Int64
+	e := New(4, func(cfg pantompkins.Config) (float64, error) {
+		calls.Add(1)
+		if Canonical(cfg) == Canonical(bad1) || Canonical(cfg) == Canonical(bad2) {
+			return 0, fmt.Errorf("broken design %v", cfg)
+		}
+		return quality(cfg)
+	})
+	defer e.Close()
+
+	var cfgs []pantompkins.Config
+	for k := 0; k <= 16; k += 2 {
+		cfgs = append(cfgs, cfgK([pantompkins.NumStages]int{k, 0, 0, 0, 0}))
+	}
+	// bad1 sits at index 1, bad2 at index 2: the lowest-index error must
+	// win no matter which worker fails first.
+	_, err := e.EvaluateBatch(cfgs)
+	if err == nil {
+		t.Fatal("batch with failing design returned no error")
+	}
+	if want := fmt.Sprintf("broken design %v", bad1); err.Error() != want {
+		t.Errorf("error %q, want the lowest-index failure %q", err, want)
+	}
+
+	// The pool must still serve fresh work after the failure (no deadlock,
+	// no poisoned workers)...
+	ok := cfgK([pantompkins.NumStages]int{6, 0, 0, 0, 0})
+	if q, err := e.Evaluate(ok); err != nil || q != 94 {
+		t.Fatalf("engine unusable after error: q=%v err=%v", q, err)
+	}
+	// ...and the failure itself is memoized.
+	before := calls.Load()
+	if _, err := e.Evaluate(bad1); err == nil {
+		t.Fatal("cached failure lost")
+	}
+	if calls.Load() != before {
+		t.Error("failed design re-evaluated instead of served from cache")
+	}
+}
+
+func TestErrorsDoNotDeadlockSmallPool(t *testing.T) {
+	e := New(1, func(cfg pantompkins.Config) (float64, error) {
+		return 0, errors.New("always broken")
+	})
+	defer e.Close()
+	var cfgs []pantompkins.Config
+	for k := 0; k <= 16; k += 2 {
+		cfgs = append(cfgs, cfgK([pantompkins.NumStages]int{k, 0, 0, 0, 0}))
+	}
+	if _, err := e.EvaluateBatch(cfgs); err == nil {
+		t.Fatal("expected error")
+	}
+	if _, err := e.EvaluateBatch(cfgs); err == nil {
+		t.Fatal("expected cached error")
+	}
+}
