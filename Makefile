@@ -1,10 +1,15 @@
 # Developer and CI entry points. `make ci` is the gate: build, vet,
-# race-clean tests, and a one-iteration benchmark smoke pass over the
-# paper-reproduction harness.
+# race-clean tests (which include the kernel-vs-reference equivalence
+# suite), the same equivalence suite with the word-parallel kernels
+# force-disabled (the bit-serial oracle path), and benchmark smoke passes
+# in both modes.
 
 GO ?= go
 
-.PHONY: all build vet test race bench ci
+# Benchmarks captured by `make bench-json` into BENCH_N.json snapshots.
+BENCH_JSON_PATTERN = KernelVsReference|PipelinePush|DSEWorkers|Fig11ExplorationTime|Table2PreprocessingGrid
+
+.PHONY: all build vet test race test-reference bench bench-reference bench-json ci
 
 all: build
 
@@ -20,9 +25,29 @@ test:
 race:
 	$(GO) test -race ./...
 
-# One iteration of every benchmark: regenerates each table/figure once and
-# exercises the parallel DSE engine without taking benchmark-grade time.
-bench:
-	$(GO) test -bench=. -benchmem -benchtime=1x -run '^$$' .
+# The kernel equivalence tests and the packages threaded through the
+# compiled kernels, re-run with XBIOSIP_NO_KERNELS so every plan delegates
+# to the bit-serial reference models: keeps the oracle path green.
+test-reference:
+	XBIOSIP_NO_KERNELS=1 $(GO) test -count=1 -race ./internal/arith/kernel ./internal/dsp ./internal/pantompkins
 
-ci: build vet race bench
+# One iteration of every benchmark: regenerates each table/figure once and
+# exercises the parallel DSE engine and the kernel-vs-reference
+# micro-benchmarks without taking benchmark-grade time.
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x -run '^$$' . ./internal/arith/kernel
+
+# The kernel-sensitive benchmarks with kernels force-disabled — a smoke
+# pass proving the oracle path still drives the full simulation stack.
+bench-reference:
+	XBIOSIP_NO_KERNELS=1 $(GO) test -bench '(KernelVsReference|PipelinePush)' -benchmem -benchtime=1x -run '^$$' . ./internal/arith/kernel
+
+# Record the performance trajectory: run the DSE/pipeline/kernel
+# benchmarks at full benchtime and snapshot name -> ns/op (+allocs) JSON,
+# so future PRs can diff against the checked-in BENCH_2.json.
+bench-json:
+	$(GO) test -bench '($(BENCH_JSON_PATTERN))' -benchmem -run '^$$' . ./internal/arith/kernel > bench.out.tmp
+	$(GO) run ./cmd/benchjson < bench.out.tmp > BENCH_2.json
+	rm -f bench.out.tmp
+
+ci: build vet race test-reference bench bench-reference

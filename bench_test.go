@@ -18,6 +18,7 @@ import (
 	"github.com/xbiosip/xbiosip/internal/approx"
 	"github.com/xbiosip/xbiosip/internal/core"
 	"github.com/xbiosip/xbiosip/internal/dse"
+	"github.com/xbiosip/xbiosip/internal/dsp"
 	"github.com/xbiosip/xbiosip/internal/ecg"
 	"github.com/xbiosip/xbiosip/internal/energy"
 	"github.com/xbiosip/xbiosip/internal/experiments"
@@ -181,6 +182,41 @@ func BenchmarkFig13Misclassification(b *testing.B) {
 		out = experiments.FormatMisclassification(r)
 	}
 	b.Log("\n" + out)
+}
+
+// BenchmarkPipelinePush measures the streaming per-sample hot path (one
+// raw ADC sample through all five stages) for the accurate pipeline and an
+// approximate design, with allocation accounting: the near-sensor contract
+// is zero allocations per sample.
+func BenchmarkPipelinePush(b *testing.B) {
+	rec, err := ecg.NSRDBRecord(0, 6000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfgs := map[string]pantompkins.Config{"accurate": pantompkins.AccurateConfig()}
+	var b9 pantompkins.Config
+	for i, s := range pantompkins.Stages {
+		b9.Stage[s] = dsp.ArithConfig{
+			LSBs: []int{10, 12, 2, 8, 16}[i],
+			Add:  approx.ApproxAdd5,
+			Mul:  approx.AppMultV1,
+		}
+	}
+	cfgs["b9"] = b9
+	for name, cfg := range cfgs {
+		b.Run(name, func(b *testing.B) {
+			p, err := pantompkins.New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			n := len(rec.Samples)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.Push(rec.Samples[i%n])
+			}
+		})
+	}
 }
 
 // BenchmarkDSEWorkers measures the wall-clock scaling of the parallel

@@ -1,0 +1,74 @@
+// Command benchjson converts `go test -bench` output on stdin into a JSON
+// map keyed by benchmark name, so the repo can check in machine-diffable
+// performance snapshots (BENCH_N.json) and future changes can be compared
+// against them:
+//
+//	go test -bench . -benchmem -run '^$' ./... | go run ./cmd/benchjson > BENCH_2.json
+//
+// The GOMAXPROCS suffix (-8) is stripped from names; ns/op is always
+// emitted, bytes/allocs per op when -benchmem was on.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+)
+
+// Result is one benchmark's measurements.
+type Result struct {
+	NsPerOp     float64  `json:"ns_per_op"`
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+}
+
+var (
+	benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(.*)$`)
+	bytesOp   = regexp.MustCompile(`([0-9.]+) B/op`)
+	allocsOp  = regexp.MustCompile(`([0-9.]+) allocs/op`)
+)
+
+func main() {
+	results := make(map[string]Result)
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		r := Result{NsPerOp: ns}
+		if bm := bytesOp.FindStringSubmatch(m[3]); bm != nil {
+			if v, err := strconv.ParseFloat(bm[1], 64); err == nil {
+				r.BytesPerOp = &v
+			}
+		}
+		if am := allocsOp.FindStringSubmatch(m[3]); am != nil {
+			if v, err := strconv.ParseFloat(am[1], 64); err == nil {
+				r.AllocsPerOp = &v
+			}
+		}
+		results[m[1]] = r
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

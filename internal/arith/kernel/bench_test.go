@@ -1,0 +1,143 @@
+package kernel_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/xbiosip/xbiosip/internal/approx"
+	"github.com/xbiosip/xbiosip/internal/arith"
+	"github.com/xbiosip/xbiosip/internal/arith/kernel"
+	"github.com/xbiosip/xbiosip/internal/dsp"
+	"github.com/xbiosip/xbiosip/internal/ecg"
+)
+
+// benchOperands is a fixed pseudorandom operand stream shared by the
+// micro-benchmarks so kernel and reference process identical inputs.
+func benchOperands(n int) ([]uint64, []uint64) {
+	rng := rand.New(rand.NewSource(42))
+	a := make([]uint64, n)
+	b := make([]uint64, n)
+	for i := range a {
+		a[i] = rng.Uint64()
+		b[i] = rng.Uint64()
+	}
+	return a, b
+}
+
+// BenchmarkKernelVsReference compares the compiled kernels against the
+// bit-serial reference models on the hot operations of the simulation
+// path: the 32-bit accumulation adder, the 16x16 multiplier, and a full
+// approximate 32-tap FIR (the HPF stage shape). The */kernel and
+// */reference sub-benchmark pairs process identical inputs; their ns/op
+// ratio is the kernel speedup.
+func BenchmarkKernelVsReference(b *testing.B) {
+	adderConfigs := []struct {
+		name string
+		spec arith.Adder
+	}{
+		{"exact", arith.Adder{Width: 32, ApproxLSBs: 0, Kind: approx.AccAdd}},
+		{"ama5-k16", arith.Adder{Width: 32, ApproxLSBs: 16, Kind: approx.ApproxAdd5}},
+		{"ama2-k16", arith.Adder{Width: 32, ApproxLSBs: 16, Kind: approx.ApproxAdd2}},
+		{"ama1-k16", arith.Adder{Width: 32, ApproxLSBs: 16, Kind: approx.ApproxAdd1}},
+	}
+	av, bv := benchOperands(1024)
+	for _, cfg := range adderConfigs {
+		kad, err := kernel.CompileAdder(cfg.spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run("adder/"+cfg.name+"/kernel", func(b *testing.B) {
+			var sink uint64
+			for i := 0; i < b.N; i++ {
+				s, _ := kad.AddCarry(av[i&1023], bv[i&1023], 0)
+				sink += s
+			}
+			_ = sink
+		})
+		b.Run("adder/"+cfg.name+"/reference", func(b *testing.B) {
+			var sink uint64
+			for i := 0; i < b.N; i++ {
+				s, _ := cfg.spec.AddCarry(av[i&1023], bv[i&1023], 0)
+				sink += s
+			}
+			_ = sink
+		})
+	}
+
+	multConfigs := []struct {
+		name string
+		spec arith.Multiplier
+	}{
+		{"v1-add5-k8", arith.Multiplier{Width: 16, ApproxLSBs: 8, Mult: approx.AppMultV1, Add: approx.ApproxAdd5}},
+		{"v2-add2-k16", arith.Multiplier{Width: 16, ApproxLSBs: 16, Mult: approx.AppMultV2, Add: approx.ApproxAdd2}},
+	}
+	for _, cfg := range multConfigs {
+		km, err := kernel.CompileMultiplier(cfg.spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run("multiplier/"+cfg.name+"/kernel", func(b *testing.B) {
+			var sink uint64
+			for i := 0; i < b.N; i++ {
+				sink += km.Mul(av[i&1023], bv[i&1023])
+			}
+			_ = sink
+		})
+		b.Run("multiplier/"+cfg.name+"/reference", func(b *testing.B) {
+			var sink uint64
+			for i := 0; i < b.N; i++ {
+				sink += cfg.spec.Mul(av[i&1023], bv[i&1023])
+			}
+			_ = sink
+		})
+	}
+
+	// Approximate 32-tap FIR in the HPF's shape (31 taps of -1 around one
+	// +31), with the paper's default modules at k=8. The reference variant
+	// is the same dsp.FIR built from plans compiled in oracle mode, so the
+	// whole accumulation chain ripples bit-serially.
+	coeffs := make([]int64, 32)
+	for i := range coeffs {
+		coeffs[i] = -1
+	}
+	coeffs[16] = 31
+	rec, err := ecg.NSRDBRecord(0, 4096)
+	if err != nil {
+		b.Fatal(err)
+	}
+	samples := make([]int64, len(rec.Samples))
+	for i, s := range rec.Samples {
+		samples[i] = int64(s)
+	}
+	out := make([]int64, len(samples))
+	// The "kernel" variant builds under the ambient mode (so the oracle
+	// smoke run really measures the oracle path throughout); "reference"
+	// always force-disables kernels for its plans.
+	buildFIR := func(forceReference bool, cfg dsp.ArithConfig) *dsp.FIR {
+		if forceReference {
+			prev := kernel.SetEnabled(false)
+			defer kernel.SetEnabled(prev)
+		}
+		f, err := dsp.NewFIR(coeffs, 5, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return f
+	}
+	for _, k := range []int{8, 16} {
+		firCfg := dsp.ArithConfig{LSBs: k, Add: approx.ApproxAdd5, Mul: approx.AppMultV1}
+		for _, mode := range []struct {
+			name           string
+			forceReference bool
+		}{{"kernel", false}, {"reference", true}} {
+			f := buildFIR(mode.forceReference, firCfg)
+			b.Run(fmt.Sprintf("fir32/k%d/%s", k, mode.name), func(b *testing.B) {
+				b.SetBytes(int64(len(samples)))
+				for i := 0; i < b.N; i++ {
+					out = f.FilterInto(out, samples)
+				}
+			})
+		}
+	}
+}

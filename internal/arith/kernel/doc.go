@@ -1,0 +1,80 @@
+// Package kernel compiles arith.Adder and arith.Multiplier configurations
+// into closed-form, allocation-free, word-parallel evaluation plans. The
+// bit-serial models in package arith remain the reference oracle — every
+// plan is required (and exhaustively tested) to be bit-identical to them —
+// but simulation-heavy paths (package dsp and everything above it) evaluate
+// through compiled kernels, which turns the per-sample cost of an
+// approximate stage from O(k) elementary-cell table walks into O(1) word
+// operations.
+//
+// # Adder closed forms
+//
+// A compiled adder replaces the k-cell approximate ripple region of
+// arith.Adder.AddCarry with one of four strategies picked at compile time:
+//
+//   - Exact region (k = 0 or AccAdd): one native machine add. The carry out
+//     is the bit Width of the (Width+1)-bit sum, reproducing the reference
+//     formula exactly (including its Width = 64 behaviour, where the
+//     reference drops the final carry).
+//
+//   - AMA4 / AMA5 (pure wiring): AMA5 computes Sum = B and Cout = A per
+//     cell, AMA4 computes Sum = NOT A and Cout = A. Neither output depends
+//     on the incoming carry, so the whole approximate region is two masks:
+//     the low k sum bits are B&mask(k) (resp. ^A&mask(k)) and the carry
+//     entering the exact upper region is simply bit k-1 of A.
+//
+//   - AMA2 (exact carry chain): AMA2 only approximates Sum — its Cout truth
+//     table is the exact majority function. Every carry in the chain
+//     therefore equals the carry of ordinary binary addition, so the carries
+//     fall out of the native-add XOR trick: with x = a + b + cin, the
+//     carry-in of bit i is bit i of a^b^x, and the carry-out of cell i is
+//     bit i+1 of that vector (the final carry-out for the top cell). The
+//     approximate sum bits are the complement of the carry-out vector
+//     (Sum = NOT Cout), and the exact upper bits are taken from x directly.
+//
+//   - AMA1 / AMA3 (byte-wide chunk LUT): these cells have genuinely
+//     input-dependent approximate carries (Cout = B OR (A AND Cin)), so the
+//     region is evaluated 8 cells at a time through a precomputed chunk
+//     table. The table is indexed by cin<<16 | aByte<<8 | bByte (2^17
+//     entries) and each uint32 entry packs the 8 sum bits in bits 0..7 and
+//     the carry-out of every cell j in bit 8+j, so a partial chunk of r < 8
+//     cells reads its exit carry from bit 7+r. A 16-bit approximate region
+//     costs two lookups instead of sixteen cell evaluations. One table is
+//     512 KiB; tables are built lazily once per cell kind that needs them
+//     (only AMA1 and AMA3 in the current library), so the worst-case
+//     resident budget is 1 MiB. The chunk path is also the generic fallback
+//     for any future cell kind without a dedicated closed form.
+//
+// # Multiplier plans
+//
+// A compiled multiplier freezes the recursion of arith.Multiplier.mulRec
+// into a static plan tree: subtrees whose output lane lies entirely at or
+// above k collapse to a native multiply, 2x2 leaves evaluate their
+// elementary cell table, and each partial-product accumulation node holds a
+// pre-compiled adder kernel for its (width, approximated-LSBs) slice. This
+// also removes the reference model's per-accumulation garbage — addAt
+// constructs a fresh arith.Adder and re-derives masks on every call, while
+// the plan hoists all config-dependent state to compile time and evaluates
+// with zero allocations.
+//
+// # Coefficient and squaring tables
+//
+// FIR taps only ever multiply the signal by small fixed coefficients
+// (LPF 1..6, HPF -1/31, DER +-1/+-2), so ConstMulTable enumerates the
+// 2^Width products of one (coefficient, multiplier-config) pair once,
+// through the compiled multiplier, and the whole approximate multiply
+// becomes a table index. A 16-bit table is 2^16 int64 entries = 512 KiB;
+// the five-stage Pan-Tompkins pipeline needs at most 8 distinct coefficient
+// magnitudes plus one SquareTable per configuration (~4.5 MiB), and tables
+// are memoized globally across configurations exactly like the compiled
+// plans, so design-space exploration pays for each one once.
+//
+// # Fallback to the bit-serial oracle
+//
+// Setting the environment variable XBIOSIP_NO_KERNELS (to anything but
+// "0") or calling SetEnabled(false) makes subsequent compilations return
+// plans that delegate to the bit-serial reference implementations in
+// package arith. The CI gate runs the equivalence tests and a benchmark
+// smoke in both modes so the oracle path stays green; results are
+// bit-identical either way, only the evaluation speed differs.
+package kernel

@@ -1,0 +1,188 @@
+package kernel
+
+import (
+	"fmt"
+
+	"github.com/xbiosip/xbiosip/internal/approx"
+	"github.com/xbiosip/xbiosip/internal/arith"
+)
+
+// Multiplier is a compiled evaluation plan for one arith.Multiplier
+// configuration: the recursion of the reference model frozen into a static
+// tree whose accumulation nodes hold pre-compiled adder kernels, so
+// evaluation performs zero allocations and exact subtrees collapse to a
+// native multiply. Use CompileMultiplier or CachedMultiplier.
+type Multiplier struct {
+	spec     arith.Multiplier
+	opMask   uint64
+	prodMask uint64
+	exact    bool
+	fallback bool     // oracle mode: delegate to the reference model
+	root     *mulNode // nil when exact or fallback
+}
+
+// mulNode is one subtree of the plan: either a native multiply (the whole
+// lane sits at or above k), an elementary 2x2 cell, or a composite node
+// with four children and three pre-compiled accumulation adders.
+type mulNode struct {
+	exact    bool
+	leaf     bool
+	leafKind approx.MultKind
+
+	w, h     int
+	hMask    uint64
+	prodMask uint64
+
+	ll, hl, lh, hh *mulNode
+	addMid, addLo  *Adder // hl+lh at width 2h+1; the two 2w-bit accumulations
+}
+
+// CompileMultiplier validates spec and builds its evaluation plan under
+// the current compilation mode.
+func CompileMultiplier(spec arith.Multiplier) (*Multiplier, error) {
+	return compileMultiplierMode(spec, Enabled())
+}
+
+// compileMultiplierMode builds the plan for an explicit mode, so callers
+// that key caches on the mode cannot race a concurrent SetEnabled flip.
+func compileMultiplierMode(spec arith.Multiplier, enabled bool) (*Multiplier, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Multiplier{
+		spec:     spec,
+		opMask:   mask(spec.Width),
+		prodMask: mask(2 * spec.Width),
+	}
+	if spec.ApproxLSBs == 0 || (spec.Mult == approx.AccMult && spec.Add == approx.AccAdd) {
+		m.exact = true
+		return m, nil
+	}
+	if !enabled {
+		m.fallback = true
+		return m, nil
+	}
+	root, err := compileMulNode(spec, spec.Width, 0)
+	if err != nil {
+		return nil, err
+	}
+	m.root = root
+	return m, nil
+}
+
+// Spec returns the configuration the plan was compiled from.
+func (m *Multiplier) Spec() arith.Multiplier { return m.spec }
+
+// Mul returns the 2*Width-bit unsigned product of the low Width bits of a
+// and b, bit-identical to the reference model.
+func (m *Multiplier) Mul(a, b uint64) uint64 {
+	a &= m.opMask
+	b &= m.opMask
+	if m.exact {
+		return (a * b) & m.prodMask
+	}
+	if m.fallback {
+		return m.spec.Mul(a, b)
+	}
+	return m.root.eval(a, b) & m.prodMask
+}
+
+// MulSigned multiplies two signed Width-bit operands through the
+// sign-magnitude arrangement around the unsigned core, like the reference.
+func (m *Multiplier) MulSigned(a, b int64) int64 {
+	neg := false
+	ua := uint64(a)
+	ub := uint64(b)
+	if a < 0 {
+		neg = !neg
+		ua = uint64(-a)
+	}
+	if b < 0 {
+		neg = !neg
+		ub = uint64(-b)
+	}
+	p := arith.ToSigned(m.Mul(ua, ub), 2*m.spec.Width)
+	if neg {
+		p = -p
+	}
+	return p
+}
+
+// compileMulNode freezes the reference recursion for a w-bit sub-multiply
+// whose product lane starts at absolute output offset off.
+func compileMulNode(spec arith.Multiplier, w, off int) (*mulNode, error) {
+	if off >= spec.ApproxLSBs {
+		return &mulNode{exact: true}, nil
+	}
+	if w == 2 {
+		kind := spec.Mult
+		if off+4 > spec.ApproxLSBs {
+			kind = approx.AccMult
+		}
+		return &mulNode{leaf: true, leafKind: kind}, nil
+	}
+	h := w / 2
+	n := &mulNode{w: w, h: h, hMask: mask(h), prodMask: mask(2 * w)}
+	var err error
+	if n.ll, err = compileMulNode(spec, h, off); err != nil {
+		return nil, err
+	}
+	// hl and lh occupy the same lane; their plans are identical and the
+	// nodes are stateless, so they share one subtree.
+	if n.hl, err = compileMulNode(spec, h, off+h); err != nil {
+		return nil, err
+	}
+	n.lh = n.hl
+	if n.hh, err = compileMulNode(spec, h, off+2*h); err != nil {
+		return nil, err
+	}
+	// The two 2w-bit accumulations share one (width, k) slice and thus one
+	// compiled adder.
+	if n.addMid, err = compileAccAdder(spec, 2*h+1, off+h); err != nil {
+		return nil, err
+	}
+	if n.addLo, err = compileAccAdder(spec, 2*w, off); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// compileAccAdder builds the accumulation adder for a w-bit addition whose
+// cell at relative bit i sits at absolute output position off+i, mirroring
+// the reference model's addAt.
+func compileAccAdder(spec arith.Multiplier, w, off int) (*Adder, error) {
+	ka := spec.ApproxLSBs - off
+	if ka <= 0 || spec.Add == approx.AccAdd {
+		ka = 0
+	}
+	if ka > w {
+		ka = w
+	}
+	// Plan trees are only built in kernel mode; compile the node adders
+	// explicitly as such so a concurrent mode flip cannot mix strategies.
+	ad, err := compileAdderMode(arith.Adder{Width: w, ApproxLSBs: ka, Kind: spec.Add}, true)
+	if err != nil {
+		return nil, fmt.Errorf("kernel: accumulation adder w=%d off=%d: %w", w, off, err)
+	}
+	return ad, nil
+}
+
+// eval walks the plan; operands are w-bit.
+func (n *mulNode) eval(a, b uint64) uint64 {
+	if n.exact {
+		return a * b
+	}
+	if n.leaf {
+		return uint64(n.leafKind.Eval(uint8(a), uint8(b)))
+	}
+	h := n.h
+	hm := n.hMask
+	ll := n.ll.eval(a&hm, b&hm)
+	hl := n.hl.eval(a>>h, b&hm)
+	lh := n.lh.eval(a&hm, b>>h)
+	hh := n.hh.eval(a>>h, b>>h)
+	mid := n.addMid.Add(hl, lh)
+	s := n.addLo.Add(ll, mid<<h)
+	s = n.addLo.Add(s, hh<<n.w)
+	return s & n.prodMask
+}

@@ -1,0 +1,200 @@
+package kernel
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/xbiosip/xbiosip/internal/arith"
+)
+
+// ConstMulTable is an exhaustive lookup table for the signed product of a
+// variable Width-bit operand with one fixed coefficient, built through a
+// compiled multiplier plan (bit-identical to arith.ConstMulTable, only
+// cheaper to construct). FIR stages multiply the signal exclusively by
+// fixed coefficients, so one table makes each tap O(1).
+type ConstMulTable struct {
+	opMask uint64
+	coeff  int64
+	tab    []int64
+}
+
+// NewConstMulTable builds the table for coefficient c on multiplier spec.
+// The operand width must be at most 16 bits (the table is 2^Width entries).
+func NewConstMulTable(spec arith.Multiplier, c int64) (*ConstMulTable, error) {
+	m, err := CompileMultiplier(spec)
+	if err != nil {
+		return nil, err
+	}
+	if spec.Width > 16 {
+		return nil, fmt.Errorf("kernel: const-mul table width %d exceeds 16", spec.Width)
+	}
+	n := 1 << spec.Width
+	t := &ConstMulTable{opMask: mask(spec.Width), coeff: c, tab: make([]int64, n)}
+	for i := 0; i < n; i++ {
+		x := arith.ToSigned(uint64(i), spec.Width)
+		t.tab[i] = m.MulSigned(x, c)
+	}
+	return t, nil
+}
+
+// Coeff returns the fixed coefficient.
+func (t *ConstMulTable) Coeff() int64 { return t.coeff }
+
+// Mul returns the bit-true product of x (interpreted in Width-bit two's
+// complement) with the fixed coefficient.
+func (t *ConstMulTable) Mul(x int64) int64 {
+	return t.tab[uint64(x)&t.opMask]
+}
+
+// SquareTable is an exhaustive lookup table for x*x built through a
+// compiled multiplier plan; it implements the squarer stage.
+type SquareTable struct {
+	opMask uint64
+	tab    []int64
+}
+
+// NewSquareTable builds the squaring table for spec (Width <= 16).
+func NewSquareTable(spec arith.Multiplier) (*SquareTable, error) {
+	m, err := CompileMultiplier(spec)
+	if err != nil {
+		return nil, err
+	}
+	if spec.Width > 16 {
+		return nil, fmt.Errorf("kernel: square table width %d exceeds 16", spec.Width)
+	}
+	n := 1 << spec.Width
+	t := &SquareTable{opMask: mask(spec.Width), tab: make([]int64, n)}
+	for i := 0; i < n; i++ {
+		x := arith.ToSigned(uint64(i), spec.Width)
+		t.tab[i] = m.MulSigned(x, x)
+	}
+	return t, nil
+}
+
+// Square returns the bit-true square of x (interpreted in Width-bit two's
+// complement).
+func (t *SquareTable) Square(x int64) int64 {
+	return t.tab[uint64(x)&t.opMask]
+}
+
+// planCache memoizes compiled plans and tables globally: design-space
+// exploration rebuilds pipelines for many configurations that share stage
+// settings, so each distinct plan/table is paid for once per process.
+// Compiled plans are keyed by (spec, mode) because a plan freezes the
+// kernel/oracle mode it was compiled under; table contents are mode-
+// independent (that is the equivalence guarantee), so tables key on the
+// spec alone.
+var planCache struct {
+	sync.Mutex
+	adders map[adderPlanKey]*Adder
+	mults  map[multPlanKey]*Multiplier
+	cmul   map[constMulKey]*ConstMulTable
+	sqr    map[arith.Multiplier]*SquareTable
+}
+
+type adderPlanKey struct {
+	spec    arith.Adder
+	enabled bool
+}
+
+type multPlanKey struct {
+	spec    arith.Multiplier
+	enabled bool
+}
+
+type constMulKey struct {
+	spec  arith.Multiplier
+	coeff int64
+}
+
+// CachedAdder returns a shared compiled plan for spec. Plans are immutable
+// after compilation, so sharing is safe.
+func CachedAdder(spec arith.Adder) (*Adder, error) {
+	key := adderPlanKey{spec, Enabled()}
+	planCache.Lock()
+	defer planCache.Unlock()
+	if planCache.adders == nil {
+		planCache.adders = make(map[adderPlanKey]*Adder)
+	}
+	if ad, ok := planCache.adders[key]; ok {
+		return ad, nil
+	}
+	ad, err := compileAdderMode(spec, key.enabled)
+	if err != nil {
+		return nil, err
+	}
+	planCache.adders[key] = ad
+	return ad, nil
+}
+
+// CachedMultiplier returns a shared compiled plan for spec.
+func CachedMultiplier(spec arith.Multiplier) (*Multiplier, error) {
+	key := multPlanKey{spec, Enabled()}
+	planCache.Lock()
+	defer planCache.Unlock()
+	if planCache.mults == nil {
+		planCache.mults = make(map[multPlanKey]*Multiplier)
+	}
+	if m, ok := planCache.mults[key]; ok {
+		return m, nil
+	}
+	m, err := compileMultiplierMode(spec, key.enabled)
+	if err != nil {
+		return nil, err
+	}
+	planCache.mults[key] = m
+	return m, nil
+}
+
+// CachedConstMulTable returns a shared, memoized table for (spec, c). The
+// 2^Width-entry fill runs outside the cache lock so cold-table builds do
+// not stall concurrent plan lookups; a racing duplicate build is benign
+// (the tables are identical, the first insert wins).
+func CachedConstMulTable(spec arith.Multiplier, c int64) (*ConstMulTable, error) {
+	key := constMulKey{spec, c}
+	planCache.Lock()
+	if planCache.cmul == nil {
+		planCache.cmul = make(map[constMulKey]*ConstMulTable)
+	}
+	t, ok := planCache.cmul[key]
+	planCache.Unlock()
+	if ok {
+		return t, nil
+	}
+	t, err := NewConstMulTable(spec, c)
+	if err != nil {
+		return nil, err
+	}
+	planCache.Lock()
+	defer planCache.Unlock()
+	if prev, ok := planCache.cmul[key]; ok {
+		return prev, nil
+	}
+	planCache.cmul[key] = t
+	return t, nil
+}
+
+// CachedSquareTable returns a shared, memoized squaring table for spec,
+// with the same out-of-lock fill as CachedConstMulTable.
+func CachedSquareTable(spec arith.Multiplier) (*SquareTable, error) {
+	planCache.Lock()
+	if planCache.sqr == nil {
+		planCache.sqr = make(map[arith.Multiplier]*SquareTable)
+	}
+	t, ok := planCache.sqr[spec]
+	planCache.Unlock()
+	if ok {
+		return t, nil
+	}
+	t, err := NewSquareTable(spec)
+	if err != nil {
+		return nil, err
+	}
+	planCache.Lock()
+	defer planCache.Unlock()
+	if prev, ok := planCache.sqr[spec]; ok {
+		return prev, nil
+	}
+	planCache.sqr[spec] = t
+	return t, nil
+}

@@ -112,10 +112,12 @@ func (e *Evaluator) simulate(cfg pantompkins.Config) (Quality, error) {
 		return Quality{}, err
 	}
 	var q Quality
+	var out pantompkins.Outputs // stage buffers shared across records
 	psnrSum, ssimSum := 0.0, 0.0
 	for ri, rec := range e.Records {
-		res := p.Process(rec)
-		f := metrics.ToFloat(res.Outputs.Filtered)
+		p.RunInto(&out, rec.Samples)
+		det := pantompkins.Detect(out.Filtered, out.Integrated, rec.FS)
+		f := metrics.ToFloat(out.Filtered)
 		psnr, err := metrics.PSNR(e.refFiltered[ri], f)
 		if err != nil {
 			return Quality{}, err
@@ -130,7 +132,7 @@ func (e *Evaluator) simulate(cfg pantompkins.Config) (Quality, error) {
 		}
 		psnrSum += psnr
 		ssimSum += ssim
-		m, err := metrics.MatchPeaks(rec.Annotations, res.Detection.Peaks, e.Tolerance)
+		m, err := metrics.MatchPeaks(rec.Annotations, det.Peaks, e.Tolerance)
 		if err != nil {
 			return Quality{}, err
 		}

@@ -3,8 +3,9 @@
 // moving-window integrator and a squarer, all parameterised by the number
 // of approximated LSBs and the elementary adder/multiplier kinds
 // (paper §4.2). Every arithmetic operation is evaluated bit-true through
-// the behavioural models of package arith, so the output equals what the
-// generated hardware computes.
+// compiled word-parallel kernels (package arith/kernel) that are
+// equivalence-tested against the bit-serial behavioural models of package
+// arith, so the output equals what the generated hardware computes.
 package dsp
 
 import (
@@ -12,6 +13,7 @@ import (
 
 	"github.com/xbiosip/xbiosip/internal/approx"
 	"github.com/xbiosip/xbiosip/internal/arith"
+	"github.com/xbiosip/xbiosip/internal/arith/kernel"
 )
 
 // ArithConfig selects the approximation of one processing stage: the
@@ -46,11 +48,22 @@ const AccWidth = 32
 // their product magnitude.
 type FIR struct {
 	coeffs   []int64
-	tables   []*arith.ConstMulTable
-	adder    arith.Adder
+	ops      []firOp // non-zero taps in tap order
+	adder    *kernel.Adder
 	outShift int
-	hist     []int64
-	pos      int
+	// hist is the delay line stored twice (hist[i] == hist[i+n]), so a
+	// tap's sample is always hist[pos+n-lag] and the hot loop has no
+	// wraparound branch.
+	hist []int64
+	n    int
+	pos  int
+}
+
+// firOp is one non-zero tap of the compiled accumulation chain.
+type firOp struct {
+	tab *kernel.ConstMulTable
+	lag int  // delay-line age of the tap's sample
+	sub bool // negative coefficient: subtract the product magnitude
 }
 
 // NewFIR builds the filter. outShift is the right shift applied to the
@@ -66,19 +79,19 @@ func NewFIR(coeffs []int64, outShift int, cfg ArithConfig) (*FIR, error) {
 	if err := mult.Validate(); err != nil {
 		return nil, err
 	}
-	adder := arith.Adder{Width: AccWidth, ApproxLSBs: cfg.LSBs, Kind: cfg.Add}
-	if err := adder.Validate(); err != nil {
+	adder, err := kernel.CachedAdder(arith.Adder{Width: AccWidth, ApproxLSBs: cfg.LSBs, Kind: cfg.Add})
+	if err != nil {
 		return nil, err
 	}
 	f := &FIR{
 		coeffs:   append([]int64(nil), coeffs...),
-		tables:   make([]*arith.ConstMulTable, len(coeffs)),
 		adder:    adder,
 		outShift: outShift,
-		hist:     make([]int64, len(coeffs)),
+		hist:     make([]int64, 2*len(coeffs)),
+		n:        len(coeffs),
 	}
 	// One lookup table per distinct coefficient magnitude.
-	byMag := make(map[int64]*arith.ConstMulTable)
+	byMag := make(map[int64]*kernel.ConstMulTable)
 	for i, c := range coeffs {
 		if c == 0 {
 			continue
@@ -90,13 +103,13 @@ func NewFIR(coeffs []int64, outShift int, cfg ArithConfig) (*FIR, error) {
 		tab, ok := byMag[mag]
 		if !ok {
 			var err error
-			tab, err = arith.CachedConstMulTable(mult, mag)
+			tab, err = kernel.CachedConstMulTable(mult, mag)
 			if err != nil {
 				return nil, err
 			}
 			byMag[mag] = tab
 		}
-		f.tables[i] = tab
+		f.ops = append(f.ops, firOp{tab: tab, lag: i, sub: c < 0})
 	}
 	return f, nil
 }
@@ -116,50 +129,63 @@ func (f *FIR) Reset() {
 }
 
 // Process consumes one SampleWidth-bit sample and produces one output
-// sample (sign-extended from the hardware's output slice).
+// sample (sign-extended from the hardware's output slice). The products
+// accumulate in tap order, first tap starting the chain, exactly like the
+// generated stage netlist.
 func (f *FIR) Process(x int64) int64 {
+	n := f.n
 	f.hist[f.pos] = x
-	n := len(f.coeffs)
-	var acc int64
-	started := false
-	for i := 0; i < n; i++ {
-		c := f.coeffs[i]
-		if c == 0 {
-			continue
-		}
-		idx := f.pos - i
-		if idx < 0 {
-			idx += n
-		}
-		p := f.tables[i].Mul(f.hist[idx])
-		switch {
-		case !started && c > 0:
-			acc = p
-			started = true
-		case !started:
-			acc = f.adder.SubSigned(0, p)
-			started = true
-		case c > 0:
-			acc = f.adder.AddSigned(acc, p)
-		default:
-			acc = f.adder.SubSigned(acc, p)
-		}
-	}
+	f.hist[f.pos+n] = x
+	base := f.pos + n
 	f.pos++
 	if f.pos == n {
 		f.pos = 0
+	}
+	var acc int64
+	if ops := f.ops; len(ops) > 0 {
+		adder := f.adder
+		hist := f.hist
+		p := ops[0].tab.Mul(hist[base-ops[0].lag])
+		if ops[0].sub {
+			acc = adder.SubSigned(0, p)
+		} else {
+			acc = p
+		}
+		for i := 1; i < len(ops); i++ {
+			op := &ops[i]
+			p := op.tab.Mul(hist[base-op.lag])
+			if op.sub {
+				acc = adder.SubSigned(acc, p)
+			} else {
+				acc = adder.AddSigned(acc, p)
+			}
+		}
 	}
 	return arith.ToSigned(uint64(acc)>>uint(f.outShift), SampleWidth)
 }
 
 // Filter runs the filter over a whole signal from a cleared delay line.
-func (f *FIR) Filter(xs []int64) []int64 {
+func (f *FIR) Filter(xs []int64) []int64 { return f.FilterInto(nil, xs) }
+
+// FilterInto is Filter writing into dst, which is grown only when its
+// capacity is insufficient — the batch path for callers that stream many
+// records without per-record allocation. It returns the output slice.
+func (f *FIR) FilterInto(dst, xs []int64) []int64 {
 	f.Reset()
-	out := make([]int64, len(xs))
+	dst = resize(dst, len(xs))
 	for i, x := range xs {
-		out[i] = f.Process(x)
+		dst[i] = f.Process(x)
 	}
-	return out
+	return dst
+}
+
+// resize returns a slice of length n, reusing s's backing array when it is
+// large enough.
+func resize(s []int64, n int) []int64 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]int64, n)
 }
 
 // MovingSum is the moving-window integration stage: a Window-deep delay
@@ -169,7 +195,7 @@ func (f *FIR) Filter(xs []int64) []int64 {
 // envelope in the accumulator's upper bits is what gives this stage its
 // extreme error resilience (paper §4.2 tolerates 16 approximated LSBs).
 type MovingSum struct {
-	adder    arith.Adder
+	adder    *kernel.Adder
 	outShift int
 	hist     []int64
 	pos      int
@@ -183,8 +209,8 @@ func NewMovingSum(window, outShift int, cfg ArithConfig) (*MovingSum, error) {
 	if outShift < 0 || outShift >= AccWidth {
 		return nil, fmt.Errorf("dsp: moving-sum output shift %d out of range", outShift)
 	}
-	adder := arith.Adder{Width: AccWidth, ApproxLSBs: cfg.LSBs, Kind: cfg.Add}
-	if err := adder.Validate(); err != nil {
+	adder, err := kernel.CachedAdder(arith.Adder{Width: AccWidth, ApproxLSBs: cfg.LSBs, Kind: cfg.Add})
+	if err != nil {
 		return nil, err
 	}
 	return &MovingSum{adder: adder, outShift: outShift, hist: make([]int64, window)}, nil
@@ -217,20 +243,23 @@ func (m *MovingSum) Process(x int64) int64 {
 }
 
 // Filter runs the integrator over a whole signal from a cleared window.
-func (m *MovingSum) Filter(xs []int64) []int64 {
+func (m *MovingSum) Filter(xs []int64) []int64 { return m.FilterInto(nil, xs) }
+
+// FilterInto is Filter writing into dst (grown only when needed).
+func (m *MovingSum) FilterInto(dst, xs []int64) []int64 {
 	m.Reset()
-	out := make([]int64, len(xs))
+	dst = resize(dst, len(xs))
 	for i, x := range xs {
-		out[i] = m.Process(x)
+		dst[i] = m.Process(x)
 	}
-	return out
+	return dst
 }
 
 // Squarer is the point-by-point squaring stage (one 16x16 multiplier,
 // paper §3 stage D). The full 32-bit product feeds the integrator, shifted
 // right by outShift (0 in the reference pipeline).
 type Squarer struct {
-	tab      *arith.SquareTable
+	tab      *kernel.SquareTable
 	outShift int
 }
 
@@ -240,7 +269,7 @@ func NewSquarer(outShift int, cfg ArithConfig) (*Squarer, error) {
 		return nil, fmt.Errorf("dsp: squarer output shift %d out of range", outShift)
 	}
 	mult := arith.Multiplier{Width: SampleWidth, ApproxLSBs: cfg.LSBs, Mult: cfg.Mul, Add: cfg.Add}
-	tab, err := arith.CachedSquareTable(mult)
+	tab, err := kernel.CachedSquareTable(mult)
 	if err != nil {
 		return nil, err
 	}
@@ -258,10 +287,13 @@ func (s *Squarer) Process(x int64) int64 {
 }
 
 // Filter squares a whole signal.
-func (s *Squarer) Filter(xs []int64) []int64 {
-	out := make([]int64, len(xs))
+func (s *Squarer) Filter(xs []int64) []int64 { return s.FilterInto(nil, xs) }
+
+// FilterInto is Filter writing into dst (grown only when needed).
+func (s *Squarer) FilterInto(dst, xs []int64) []int64 {
+	dst = resize(dst, len(xs))
 	for i, x := range xs {
-		out[i] = s.Process(x)
+		dst[i] = s.Process(x)
 	}
-	return out
+	return dst
 }

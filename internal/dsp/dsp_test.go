@@ -256,3 +256,47 @@ func TestArithConfigString(t *testing.T) {
 		t.Errorf("String = %q", got)
 	}
 }
+
+// TestFilterIntoReusesBuffers checks the Into variants of all three stages
+// produce outputs identical to the allocating path while reusing a
+// caller-provided buffer across calls of shrinking and growing lengths.
+func TestFilterIntoReusesBuffers(t *testing.T) {
+	cfg := ArithConfig{LSBs: 6, Add: approx.ApproxAdd5, Mul: approx.AppMultV1}
+	fir, err := NewFIR([]int64{2, 1, 0, -1, -2}, 3, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mwi, err := NewMovingSum(8, 3, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sqr, err := NewSquarer(0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	var fBuf, mBuf, sBuf []int64
+	for _, n := range []int{400, 150, 600} {
+		xs := make([]int64, n)
+		for i := range xs {
+			xs[i] = int64(int16(rng.Uint64()))
+		}
+		fBuf = fir.FilterInto(fBuf, xs)
+		mBuf = mwi.FilterInto(mBuf, xs)
+		sBuf = sqr.FilterInto(sBuf, xs)
+		wantF := fir.Filter(xs)
+		wantM := mwi.Filter(xs)
+		wantS := sqr.Filter(xs)
+		for i := range xs {
+			if fBuf[i] != wantF[i] {
+				t.Fatalf("FIR FilterInto[%d] = %d, Filter = %d", i, fBuf[i], wantF[i])
+			}
+			if mBuf[i] != wantM[i] {
+				t.Fatalf("MovingSum FilterInto[%d] = %d, Filter = %d", i, mBuf[i], wantM[i])
+			}
+			if sBuf[i] != wantS[i] {
+				t.Fatalf("Squarer FilterInto[%d] = %d, Filter = %d", i, sBuf[i], wantS[i])
+			}
+		}
+	}
+}

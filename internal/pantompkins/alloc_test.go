@@ -1,0 +1,63 @@
+package pantompkins
+
+import (
+	"testing"
+
+	"github.com/xbiosip/xbiosip/internal/ecg"
+)
+
+// TestRunIntoMatchesRun reuses one Outputs (and the pipeline's widened-
+// sample scratch) across records of different lengths and demands every
+// signal equal a fresh Run's, so the buffer-reusing batch path cannot leak
+// state between records.
+func TestRunIntoMatchesRun(t *testing.T) {
+	recA := testRecord(t, 2500)
+	recB, err := ecg.NSRDBRecord(1, 1800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, cfg := range streamConfigs(t) {
+		t.Run(name, func(t *testing.T) {
+			p, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var out Outputs
+			for _, rec := range []*ecg.Record{recA, recB, recA} {
+				p.RunInto(&out, rec.Samples)
+				fresh, err := New(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				requireIdenticalOutputs(t, fresh.Run(rec.Samples), &out, name)
+			}
+		})
+	}
+}
+
+// TestPushZeroAllocs asserts the streaming hot path performs zero
+// allocations per sample, for the accurate and the approximate pipeline
+// alike — the near-sensor deployment contract.
+func TestPushZeroAllocs(t *testing.T) {
+	rec := testRecord(t, 512)
+	for name, cfg := range streamConfigs(t) {
+		t.Run(name, func(t *testing.T) {
+			p, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Warm the delay lines before measuring.
+			for _, x := range rec.Samples {
+				p.Push(x)
+			}
+			i := 0
+			avg := testing.AllocsPerRun(1000, func() {
+				p.Push(rec.Samples[i&511])
+				i++
+			})
+			if avg != 0 {
+				t.Fatalf("Pipeline.Push allocates %.2f times per sample, want 0", avg)
+			}
+		})
+	}
+}

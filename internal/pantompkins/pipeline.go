@@ -27,6 +27,7 @@ type Pipeline struct {
 	der *dsp.FIR
 	sqr *dsp.Squarer
 	mwi *dsp.MovingSum
+	xs  []int64 // RunInto's widened-sample scratch buffer
 }
 
 // New builds the pipeline for the given per-stage approximation
@@ -66,16 +67,30 @@ func (p *Pipeline) Config() Config { return p.cfg }
 // sample-at-a-time processing of a live signal use Reset and Push, whose
 // outputs are bit-identical to Run's.
 func (p *Pipeline) Run(samples []int16) *Outputs {
-	xs := make([]int64, len(samples))
-	for i, s := range samples {
-		xs[i] = int64(s)
+	return p.RunInto(&Outputs{}, samples)
+}
+
+// RunInto is Run writing into out: each intermediate signal reuses the
+// corresponding slice of out when its capacity suffices, so a caller
+// processing many records (the evaluation loop of the design-space
+// explorer) allocates the buffers once. It returns out.
+func (p *Pipeline) RunInto(out *Outputs, samples []int16) *Outputs {
+	if out == nil {
+		out = &Outputs{}
 	}
-	out := &Outputs{}
-	out.LowPassed = p.lpf.Filter(xs)
-	out.Filtered = p.hpf.Filter(out.LowPassed)
-	out.Derivative = p.der.Filter(out.Filtered)
-	out.Squared = p.sqr.Filter(out.Derivative)
-	out.Integrated = p.mwi.Filter(out.Squared)
+	if cap(p.xs) >= len(samples) {
+		p.xs = p.xs[:len(samples)]
+	} else {
+		p.xs = make([]int64, len(samples))
+	}
+	for i, s := range samples {
+		p.xs[i] = int64(s)
+	}
+	out.LowPassed = p.lpf.FilterInto(out.LowPassed, p.xs)
+	out.Filtered = p.hpf.FilterInto(out.Filtered, out.LowPassed)
+	out.Derivative = p.der.FilterInto(out.Derivative, out.Filtered)
+	out.Squared = p.sqr.FilterInto(out.Squared, out.Derivative)
+	out.Integrated = p.mwi.FilterInto(out.Integrated, out.Squared)
 	return out
 }
 
