@@ -1,15 +1,19 @@
 # Developer and CI entry points. `make ci` is the gate: build, vet,
 # race-clean tests (which include the kernel-vs-reference equivalence
 # suite), the same equivalence suite with the word-parallel kernels
-# force-disabled (the bit-serial oracle path), and benchmark smoke passes
-# in both modes.
+# force-disabled (the bit-serial oracle path), benchmark smoke passes in
+# both modes, and a benchdiff smoke run over the checked-in snapshot.
 
 GO ?= go
 
 # Benchmarks captured by `make bench-json` into BENCH_N.json snapshots.
-BENCH_JSON_PATTERN = KernelVsReference|PipelinePush|DSEWorkers|Fig11ExplorationTime|Table2PreprocessingGrid
+BENCH_JSON_PATTERN = KernelVsReference|PipelinePush|DSEWorkers|EvaluatorShards|Fig11ExplorationTime|Table2PreprocessingGrid
+# Current snapshot file; bump per PR so the trajectory stays diffable.
+BENCH_SNAPSHOT = BENCH_3.json
+# Previous snapshot `make bench-diff` gates against.
+BENCH_BASELINE = BENCH_2.json
 
-.PHONY: all build vet test race test-reference bench bench-reference bench-json ci
+.PHONY: all build vet test race test-reference bench bench-reference bench-json bench-diff bench-diff-smoke ci
 
 all: build
 
@@ -44,10 +48,22 @@ bench-reference:
 
 # Record the performance trajectory: run the DSE/pipeline/kernel
 # benchmarks at full benchtime and snapshot name -> ns/op (+allocs) JSON,
-# so future PRs can diff against the checked-in BENCH_2.json.
+# so future PRs can diff against the checked-in snapshots.
 bench-json:
 	$(GO) test -bench '($(BENCH_JSON_PATTERN))' -benchmem -run '^$$' . ./internal/arith/kernel > bench.out.tmp
-	$(GO) run ./cmd/benchjson < bench.out.tmp > BENCH_2.json
+	$(GO) run ./cmd/benchjson < bench.out.tmp > $(BENCH_SNAPSHOT)
 	rm -f bench.out.tmp
 
-ci: build vet race test-reference bench bench-reference
+# Compare the current snapshot against the previous one and fail on >15%
+# ns/op regression of any tracked benchmark. Snapshots are only comparable
+# when taken on the same machine — run `make bench-json` against both
+# revisions locally before trusting a failure.
+bench-diff:
+	$(GO) run ./cmd/benchdiff -threshold 0.15 $(BENCH_BASELINE) $(BENCH_SNAPSHOT)
+
+# CI smoke: self-compare the checked-in snapshot so the tool's parsing,
+# matching and gating run on every CI pass without cross-machine noise.
+bench-diff-smoke:
+	$(GO) run ./cmd/benchdiff -threshold 0.15 $(BENCH_SNAPSHOT) $(BENCH_SNAPSHOT) > /dev/null
+
+ci: build vet race test-reference bench bench-reference bench-diff-smoke

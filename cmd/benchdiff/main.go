@@ -1,0 +1,120 @@
+// Command benchdiff compares two benchmark snapshots produced by
+// cmd/benchjson (the checked-in BENCH_N.json files) and fails when any
+// benchmark regressed beyond a threshold:
+//
+//	go run ./cmd/benchdiff [-threshold 0.15] [-match regex] old.json new.json
+//
+// Every benchmark present in both snapshots (and matching -match, if
+// given) is compared by ns/op; a regression larger than the threshold
+// fraction exits 1 with the offenders listed, so `make bench-diff` can
+// gate a change against the previous snapshot. Benchmarks present in only
+// one snapshot are reported but never fail the run (suites grow).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+)
+
+// result mirrors cmd/benchjson's per-benchmark schema.
+type result struct {
+	NsPerOp     float64  `json:"ns_per_op"`
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+}
+
+func load(path string) (map[string]result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m map[string]result
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(m) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks", path)
+	}
+	return m, nil
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 0.15, "maximum tolerated ns/op regression as a fraction (0.15 = +15%)")
+	match := flag.String("match", "", "only compare benchmarks whose name matches this regexp (default: all)")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold f] [-match regex] old.json new.json")
+		os.Exit(2)
+	}
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+	re := regexp.MustCompile("")
+	if *match != "" {
+		var err error
+		if re, err = regexp.Compile(*match); err != nil {
+			fail(err)
+		}
+	}
+	oldPath, newPath := flag.Arg(0), flag.Arg(1)
+	oldR, err := load(oldPath)
+	if err != nil {
+		fail(err)
+	}
+	newR, err := load(newPath)
+	if err != nil {
+		fail(err)
+	}
+
+	names := make([]string, 0, len(oldR))
+	for name := range oldR {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var regressions []string
+	compared := 0
+	fmt.Printf("benchdiff %s -> %s (threshold +%.0f%%)\n", oldPath, newPath, 100**threshold)
+	for _, name := range names {
+		if !re.MatchString(name) {
+			continue
+		}
+		o := oldR[name]
+		n, ok := newR[name]
+		if !ok {
+			fmt.Printf("  %-55s only in %s\n", name, oldPath)
+			continue
+		}
+		compared++
+		delta := (n.NsPerOp - o.NsPerOp) / o.NsPerOp
+		mark := " "
+		if delta > *threshold {
+			mark = "!"
+			regressions = append(regressions, fmt.Sprintf("%s: %.4g -> %.4g ns/op (%+.1f%%)", name, o.NsPerOp, n.NsPerOp, 100*delta))
+		}
+		fmt.Printf("%s %-55s %12.4g %12.4g ns/op %+7.1f%%\n", mark, name, o.NsPerOp, n.NsPerOp, 100*delta)
+	}
+	for name := range newR {
+		if re.MatchString(name) {
+			if _, ok := oldR[name]; !ok {
+				fmt.Printf("  %-55s only in %s\n", name, newPath)
+			}
+		}
+	}
+	if compared == 0 {
+		fail(fmt.Errorf("no benchmarks in common between %s and %s (match %q)", oldPath, newPath, *match))
+	}
+	if len(regressions) > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d benchmark(s) regressed beyond +%.0f%%:\n", len(regressions), 100**threshold)
+		for _, r := range regressions {
+			fmt.Fprintln(os.Stderr, "  "+r)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("%d benchmarks compared, none regressed beyond +%.0f%%\n", compared, 100**threshold)
+}

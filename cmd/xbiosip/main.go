@@ -9,7 +9,10 @@
 // fig13, dse, synth, all.
 //
 // Flags -records and -samples control the synthetic NSRDB-like evaluation
-// set (the paper's unit is one 20,000-sample recording).
+// set (the paper's unit is one 20,000-sample recording). -workers sets the
+// design-evaluation pool size and -shards the record-shard split of one
+// design evaluation (see package sched); every table, figure and generated
+// design is bit-identical for all -workers/-shards settings.
 package main
 
 import (
@@ -30,13 +33,14 @@ func main() {
 	psnr := flag.Float64("psnr", 15, "signal-quality constraint for the pre-processing gate (dB)")
 	accuracy := flag.Float64("accuracy", 1.0, "final peak-detection-accuracy constraint [0,1]")
 	workers := flag.Int("workers", 0, "design-evaluation workers (0 = all CPUs, 1 = sequential; results are identical)")
+	shards := flag.Int("shards", 0, "record shards per design evaluation (0 = one per record, 1 = sequential records; results are identical)")
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() != 1 {
 		usage()
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *records, *samples, *psnr, *accuracy, *workers); err != nil {
+	if err := run(flag.Arg(0), *records, *samples, *psnr, *accuracy, *workers, *shards); err != nil {
 		fmt.Fprintln(os.Stderr, "xbiosip:", err)
 		os.Exit(1)
 	}
@@ -67,7 +71,7 @@ flags:
 	flag.PrintDefaults()
 }
 
-func run(what string, records, samples int, psnr, accuracy float64, workers int) error {
+func run(what string, records, samples int, psnr, accuracy float64, workers, shards int) error {
 	// Experiments that need no evaluation environment.
 	switch what {
 	case "table1":
@@ -80,12 +84,9 @@ func run(what string, records, samples int, psnr, accuracy float64, workers int)
 		return synthReports()
 	}
 
-	s, err := experiments.NewSetup(records, samples)
+	s, err := experiments.NewSetupOpts(records, samples, core.EvalOptions{Workers: workers, RecordShards: shards})
 	if err != nil {
 		return err
-	}
-	if workers > 0 {
-		s.Workers = workers
 	}
 	all := what == "all"
 	if all {

@@ -24,6 +24,13 @@ type Adder struct {
 	// closed form (including sign extension) inline in the closure body.
 	addS func(a, b int64) int64
 	subS func(a, b int64) int64
+	// chain/fold are the batched slice kernels (see slice.go): one
+	// indirect call per vector (chain) or window (fold) with the closed
+	// form inlined in the loop.
+	chain chainFunc
+	fold  func(vals []int64) int64
+	// exact marks plans that reduce to native addition under kernel mode.
+	exact bool
 }
 
 // CompileAdder validates spec and builds its evaluation plan under the
@@ -40,6 +47,9 @@ func compileAdderMode(spec arith.Adder, enabled bool) (*Adder, error) {
 	}
 	ad := &Adder{spec: spec, fn: compileAddFunc(spec, enabled)}
 	ad.addS, ad.subS = compileSignedFuncs(spec, ad.fn, enabled)
+	ad.chain = compileChain(spec, enabled)
+	ad.fold = compileFold(spec, ad, enabled)
+	ad.exact = enabled && effectiveLSBs(spec) == 0
 	return ad, nil
 }
 

@@ -1,0 +1,459 @@
+package kernel
+
+import (
+	"math/bits"
+
+	"github.com/xbiosip/xbiosip/internal/approx"
+	"github.com/xbiosip/xbiosip/internal/arith"
+)
+
+// This file holds the batched slice kernels: whole-signal variants of the
+// signed accumulation datapaths that process one sample vector per call.
+//
+// The per-sample hot path pays one indirect call per elementary operation
+// (package dsp chains them tap by tap through AddSigned/SubSigned). The
+// slice kernels hoist that call out of the loops entirely: a Chain runs a
+// FIR's complete per-sample product accumulation — every tap's table
+// lookup and the adder's closed form inlined, the accumulator held in a
+// register — as one call per signal, and FoldSlice collapses an
+// integrator window to one call per sample. For the chunk-LUT kinds
+// (AMA1/AMA3) a region of up to eight approximated LSBs is one packed
+// byte-wide table access per operation, so the paper's configurations
+// (k <= 16) cost at most two lookups per accumulate.
+//
+// Every slice kernel is bit-identical to folding the corresponding scalar
+// operations over the vector; slice_test.go checks all cell kinds in both
+// compilation modes.
+
+// ChainOp describes one tap of an accumulation chain: the product table of
+// the tap's coefficient, the delay-line age of the sample it consumes, and
+// whether the product is subtracted (negative coefficient).
+type ChainOp struct {
+	Tab *ConstMulTable
+	Lag int
+	Sub bool
+}
+
+// chainOp is the compiled form: the table storage inlined and the
+// subtract flag lowered to the operand XOR mask / carry-in the strategy
+// loops consume branch-free.
+type chainOp struct {
+	tab  []int64
+	mask uint64
+	neg  uint64 // 0 for add, ^0 for subtract (operand inversion + carry)
+	lag  int
+}
+
+// chainFunc runs a compiled chain over a whole signal (see Chain.Run).
+type chainFunc func(c *Chain, dst, xs []int64, outShift uint, outWidth int)
+
+// Chain is a compiled accumulation chain: the full per-sample fold of a
+// FIR's tap products through one adder, evaluated sample-major with the
+// adder's closed form inlined per tap. Build chains with Adder.NewChain.
+type Chain struct {
+	ad  *Adder
+	ops []chainOp
+	fn  chainFunc
+}
+
+// NewChain compiles the accumulation chain for the given taps. The first
+// tap starts each sample's chain (its product is copied, or subtracted
+// from zero, rather than added), exactly like the scalar accumulation.
+func (ad *Adder) NewChain(ops []ChainOp) *Chain {
+	c := &Chain{ad: ad, fn: ad.chain}
+	for _, op := range ops {
+		co := chainOp{tab: op.Tab.tab, mask: op.Tab.opMask, lag: op.Lag}
+		if op.Sub {
+			co.neg = ^uint64(0)
+		}
+		c.ops = append(c.ops, co)
+	}
+	return c
+}
+
+// Run evaluates the chain for every sample of xs into dst (dst[i] from the
+// delayed samples xs[i-lag], reading zero before the start of the signal)
+// and applies the output bus slicing: the accumulator is sign-extended,
+// shifted right by outShift and sliced to outWidth bits. dst and xs must
+// not overlap. Run on an empty chain writes the sliced zero accumulator.
+func (c *Chain) Run(dst, xs []int64, outShift uint, outWidth int) {
+	if len(c.ops) == 0 {
+		for i := range dst {
+			dst[i] = arith.ToSigned(0, outWidth)
+		}
+		return
+	}
+	c.fn(c, dst, xs, outShift, outWidth)
+}
+
+// product looks one tap's delayed sample product up (samples before the
+// start of the signal read as zero). Kept tiny so it inlines into the
+// strategy loops.
+func (op *chainOp) product(xs []int64, i int) int64 {
+	var x int64
+	if j := i - op.lag; j >= 0 {
+		x = xs[j]
+	}
+	return op.tab[uint64(x)&op.mask]
+}
+
+// start opens one sample's chain: the first product is copied into the
+// accumulator, or subtracted from zero through the full signed datapath
+// for a leading negative tap (one closure call per sample, not per tap).
+func (c *Chain) start(xs []int64, i int) (acc uint64) {
+	op := &c.ops[0]
+	p := op.product(xs, i)
+	if op.neg != 0 {
+		p = c.ad.subS(0, p)
+	}
+	return uint64(p)
+}
+
+// finish applies the output bus slicing to a masked accumulator.
+func finish(acc uint64, w int, outShift uint, outWidth int) int64 {
+	return arith.ToSigned(uint64(arith.ToSigned(acc, w))>>outShift, outWidth)
+}
+
+// compileChain picks the chain evaluation strategy for spec.
+func compileChain(spec arith.Adder, enabled bool) chainFunc {
+	w := spec.Width
+	if !enabled {
+		return genericChain(w)
+	}
+	k := effectiveLSBs(spec)
+	switch {
+	case k == 0:
+		return nativeChain(w)
+	case spec.Kind == approx.ApproxAdd4 || spec.Kind == approx.ApproxAdd5:
+		return wiringChain(w, k, spec.Kind == approx.ApproxAdd4)
+	case spec.Kind == approx.ApproxAdd2:
+		return ama2Chain(w, k)
+	default:
+		return chunkChain(w, k, spec.Kind)
+	}
+}
+
+// genericChain folds the compiled signed closures per tap — the scalar
+// path restated; oracle mode takes this route so the bit-serial reference
+// models stay on the evaluation path.
+func genericChain(w int) chainFunc {
+	mW := mask(w)
+	return func(c *Chain, dst, xs []int64, outShift uint, outWidth int) {
+		ops := c.ops
+		ad := c.ad
+		for i := range dst {
+			op := &ops[0]
+			var x int64
+			if j := i - op.lag; j >= 0 {
+				x = xs[j]
+			}
+			acc := op.tab[uint64(x)&op.mask]
+			if op.neg != 0 {
+				acc = ad.subS(0, acc)
+			}
+			for o := 1; o < len(ops); o++ {
+				op := &ops[o]
+				var x int64
+				if j := i - op.lag; j >= 0 {
+					x = xs[j]
+				}
+				p := op.tab[uint64(x)&op.mask]
+				if op.neg != 0 {
+					acc = ad.subS(acc, p)
+				} else {
+					acc = ad.addS(acc, p)
+				}
+			}
+			dst[i] = finish(uint64(acc)&mW, w, outShift, outWidth)
+		}
+	}
+}
+
+// nativeChain is the exact datapath. Native addition is associative
+// modulo the accumulator width, so the whole chain collapses to one
+// modular sum of signed products — no loop-carried dependency, every tap
+// independent.
+func nativeChain(w int) chainFunc {
+	mW := mask(w)
+	return func(c *Chain, dst, xs []int64, outShift uint, outWidth int) {
+		ops := c.ops
+		for i := range dst {
+			var s uint64
+			for o := range ops {
+				op := &ops[o]
+				var x int64
+				if j := i - op.lag; j >= 0 {
+					x = xs[j]
+				}
+				p := uint64(op.tab[uint64(x)&op.mask])
+				s += (p ^ op.neg) + (op.neg & 1)
+			}
+			dst[i] = finish(s&mW, w, outShift, outWidth)
+		}
+	}
+}
+
+// wiringChain covers the pure-wiring cells AMA5 (Sum = B) and, with invA,
+// AMA4 (Sum = NOT A). The chain has a closed form that removes the
+// loop-carried dependency entirely: a step keeps only its own operand (or
+// the complement of the previous low bits) in the approximate region, so
+// the carry entering the exact upper slice at step o — bit k-1 of the
+// previous accumulator — is a bit of the previous operand (AMA5) or an
+// alternating function of the opening accumulator (AMA4). The upper
+// slices therefore sum independently per tap, and the final low bits come
+// from the last operand (AMA5) or the opening accumulator's parity-
+// complemented low bits (AMA4). Subtraction inverts the operand; wiring
+// cells drop the +1 carry-in, like the scalar closures.
+func wiringChain(w, k int, invA bool) chainFunc {
+	mW := mask(w)
+	mk := mask(k)
+	ku := uint(k)
+	return func(c *Chain, dst, xs []int64, outShift uint, outWidth int) {
+		ops := c.ops
+		ad := c.ad
+		last := len(ops) - 1
+		for i := range dst {
+			// Opening accumulator: the first product copied, or pushed
+			// through the zero-subtract wiring datapath.
+			op0 := &ops[0]
+			var x0 int64
+			if j := i - op0.lag; j >= 0 {
+				x0 = xs[j]
+			}
+			p0 := op0.tab[uint64(x0)&op0.mask]
+			var acc uint64
+			if op0.neg != 0 {
+				acc = uint64(ad.subS(0, p0)) & mW
+			} else {
+				acc = uint64(p0) & mW
+			}
+			if last > 0 {
+				u := acc >> ku
+				var low uint64
+				if invA {
+					// AMA4: carries alternate with the opening low bits;
+					// the low region complements once per step.
+					b0 := (acc >> (ku - 1)) & 1
+					steps := uint64(last)
+					u += steps / 2
+					u += b0 * (steps & 1)
+					low = acc & mk
+					if steps&1 == 1 {
+						low = ^acc & mk
+					}
+					for o := 1; o <= last; o++ {
+						op := &ops[o]
+						var x int64
+						if j := i - op.lag; j >= 0 {
+							x = xs[j]
+						}
+						ub := (uint64(op.tab[uint64(x)&op.mask]) ^ op.neg) & mW
+						u += ub >> ku
+					}
+				} else {
+					// AMA5: each step's carry is bit k-1 of the previous
+					// operand; the last operand keeps the low region.
+					u += (acc >> (ku - 1)) & 1
+					for o := 1; o < last; o++ {
+						op := &ops[o]
+						var x int64
+						if j := i - op.lag; j >= 0 {
+							x = xs[j]
+						}
+						ub := (uint64(op.tab[uint64(x)&op.mask]) ^ op.neg) & mW
+						u += ub>>ku + (ub>>(ku-1))&1
+					}
+					op := &ops[last]
+					var x int64
+					if j := i - op.lag; j >= 0 {
+						x = xs[j]
+					}
+					ub := (uint64(op.tab[uint64(x)&op.mask]) ^ op.neg) & mW
+					u += ub >> ku
+					low = ub & mk
+				}
+				acc = (low | u<<ku) & mW
+			}
+			dst[i] = finish(acc, w, outShift, outWidth)
+		}
+	}
+}
+
+// ama2Chain covers AMA2 through the native-carry XOR trick of ama2Add,
+// inlined per tap.
+func ama2Chain(w, k int) chainFunc {
+	mW := mask(w)
+	mk := mask(k)
+	return func(c *Chain, dst, xs []int64, outShift uint, outWidth int) {
+		ops := c.ops
+		for i := range dst {
+			acc := c.start(xs, i) & mW
+			for o := 1; o < len(ops); o++ {
+				op := &ops[o]
+				var x int64
+				if j := i - op.lag; j >= 0 {
+					x = xs[j]
+				}
+				ub := (uint64(op.tab[uint64(x)&op.mask]) ^ op.neg) & mW
+				v, cf := bits.Add64(acc, ub, op.neg&1)
+				if w < 64 {
+					cf = (v >> w) & 1
+				}
+				couts := ((acc ^ ub ^ v) >> 1) | cf<<(w-1)
+				acc = ((v &^ mk) | (^couts & mk)) & mW
+			}
+			dst[i] = finish(acc, w, outShift, outWidth)
+		}
+	}
+}
+
+// chunkChain evaluates the approximate region through the packed byte-wide
+// chunk LUT, 8 cells per lookup: k <= 8 approximated LSBs cost one table
+// access per tap, k <= 16 two.
+func chunkChain(w, k int, kind approx.AdderKind) chainFunc {
+	mW := mask(w)
+	lut := chunkLUT(kind)
+	ku := uint(k)
+	return func(c *Chain, dst, xs []int64, outShift uint, outWidth int) {
+		ops := c.ops
+		for i := range dst {
+			acc := c.start(xs, i) & mW
+			for o := 1; o < len(ops); o++ {
+				op := &ops[o]
+				var x int64
+				if j := i - op.lag; j >= 0 {
+					x = xs[j]
+				}
+				ub := (uint64(op.tab[uint64(x)&op.mask]) ^ op.neg) & mW
+				carry := op.neg & 1
+				var sum uint64
+				b := 0
+				for ; b+8 <= k; b += 8 {
+					e := uint64(lut[carry<<16|((acc>>b)&0xff)<<8|(ub>>b)&0xff])
+					sum |= (e & 0xff) << b
+					carry = (e >> 15) & 1
+				}
+				if r := k - b; r > 0 {
+					e := uint64(lut[carry<<16|((acc>>b)&0xff)<<8|(ub>>b)&0xff])
+					sum |= (e & (uint64(1)<<r - 1)) << b
+					carry = (e >> (7 + r)) & 1
+				}
+				acc = (sum | (acc>>ku+ub>>ku+carry)<<ku) & mW
+			}
+			dst[i] = finish(acc, w, outShift, outWidth)
+		}
+	}
+}
+
+// FoldSlice chains vals through the signed adder in index order:
+// vals[0] + vals[1] + ... exactly like starting an accumulation chain from
+// the first operand (no add against zero), so it is bit-identical to the
+// integrator's slot-order window sum. An empty slice folds to 0.
+func (ad *Adder) FoldSlice(vals []int64) int64 {
+	return ad.fold(vals)
+}
+
+// Exact reports whether the compiled plan reduces to native two's-
+// complement addition (zero effective approximated LSBs under kernel
+// mode). Callers may then use algebraic shortcuts — e.g. a sliding-window
+// sum instead of re-folding the window — that are bit-identical to the
+// cell-level chain. In oracle mode this is always false, so shortcuts stay
+// off and the bit-serial models keep running.
+func (ad *Adder) Exact() bool { return ad.exact }
+
+// compileFold builds the window-fold kernel for spec. Kinds without a
+// dedicated inline loop fold the compiled signed closure per element
+// (correct, just not faster); in oracle mode everything takes that route.
+func compileFold(spec arith.Adder, ad *Adder, enabled bool) func([]int64) int64 {
+	w := spec.Width
+	if !enabled {
+		return ad.genericFold
+	}
+	k := effectiveLSBs(spec)
+	switch {
+	case k == 0:
+		return nativeFold(w)
+	case spec.Kind == approx.ApproxAdd4 || spec.Kind == approx.ApproxAdd5:
+		return wiringFold(w, k, spec.Kind == approx.ApproxAdd4)
+	default:
+		return ad.genericFold
+	}
+}
+
+// genericFold chains the compiled signed add over the slice.
+func (ad *Adder) genericFold(vals []int64) int64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	acc := vals[0]
+	for _, v := range vals[1:] {
+		acc = ad.addS(acc, v)
+	}
+	return acc
+}
+
+// nativeFold sums the slice natively. Each scalar chain step masks to the
+// word width and sign-extends, but only the low w bits feed the next add,
+// so the chain equals the plain modular sum; a single-element fold returns
+// the element untouched, exactly like starting the chain there.
+func nativeFold(w int) func([]int64) int64 {
+	mW := mask(w)
+	return func(vals []int64) int64 {
+		if len(vals) == 0 {
+			return 0
+		}
+		if len(vals) == 1 {
+			return vals[0]
+		}
+		var s int64
+		for _, v := range vals {
+			s += v
+		}
+		return arith.ToSigned(uint64(s)&mW, w)
+	}
+}
+
+// wiringFold chains the wiring-cell add (AMA5, or AMA4 with invA) over
+// the slice through the same closed form as wiringChain: independent
+// upper-slice sums with the inter-step carries read off the operands
+// (AMA5) or the opening element's alternating low bits (AMA4).
+func wiringFold(w, k int, invA bool) func([]int64) int64 {
+	mW := mask(w)
+	mk := mask(k)
+	ku := uint(k)
+	return func(vals []int64) int64 {
+		if len(vals) == 0 {
+			return 0
+		}
+		if len(vals) == 1 {
+			return vals[0]
+		}
+		acc := uint64(vals[0]) & mW
+		last := len(vals) - 1
+		u := acc >> ku
+		var low uint64
+		if invA {
+			b0 := (acc >> (ku - 1)) & 1
+			steps := uint64(last)
+			u += steps / 2
+			u += b0 * (steps & 1)
+			low = acc & mk
+			if steps&1 == 1 {
+				low = ^acc & mk
+			}
+			for _, v := range vals[1:] {
+				u += (uint64(v) & mW) >> ku
+			}
+		} else {
+			u += (acc >> (ku - 1)) & 1
+			for _, v := range vals[1:last] {
+				ub := uint64(v) & mW
+				u += ub>>ku + (ub>>(ku-1))&1
+			}
+			ub := uint64(vals[last]) & mW
+			u += ub >> ku
+			low = ub & mk
+		}
+		return arith.ToSigned((low|u<<ku)&mW, w)
+	}
+}

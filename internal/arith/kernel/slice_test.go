@@ -1,0 +1,176 @@
+package kernel
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/xbiosip/xbiosip/internal/approx"
+	"github.com/xbiosip/xbiosip/internal/arith"
+)
+
+// sliceSpecs enumerates the adder configurations the slice-kernel
+// equivalence sweep covers: every cell kind at representative widths and
+// approximated-LSB counts, including the chunk-LUT boundary cases around
+// eight bits.
+func sliceSpecs() []arith.Adder {
+	var specs []arith.Adder
+	for _, kind := range approx.AdderKinds {
+		for _, w := range []int{8, 16, 32} {
+			for _, k := range []int{0, 1, 4, 7, 8, 9, 15, 16} {
+				if k > w {
+					continue
+				}
+				specs = append(specs, arith.Adder{Width: w, ApproxLSBs: k, Kind: kind})
+			}
+		}
+	}
+	return specs
+}
+
+// testTables builds a few product tables with distinct coefficients for
+// chain tests; the values only need to exercise the adder datapath.
+func testTables(t *testing.T) []*ConstMulTable {
+	t.Helper()
+	spec := arith.Multiplier{Width: 16, ApproxLSBs: 4, Mult: approx.AppMultV1, Add: approx.ApproxAdd5}
+	var tabs []*ConstMulTable
+	for _, c := range []int64{1, 3, -2, 31} {
+		tab, err := NewConstMulTable(spec, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tabs = append(tabs, tab)
+	}
+	return tabs
+}
+
+// TestChainMatchesScalar runs compiled chains over random signals and
+// compares every output against the scalar per-sample accumulation
+// (product copy or zero-subtract for the first tap, AddSigned/SubSigned
+// for the rest, then the output bus slicing), for every cell kind in both
+// compilation modes and for leading add and leading subtract taps.
+func TestChainMatchesScalar(t *testing.T) {
+	for _, mode := range []bool{true, false} {
+		mode := mode
+		t.Run(fmt.Sprintf("kernels=%v", mode), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(7))
+			tabs := testTables(t)
+			const n = 64
+			xs := make([]int64, n)
+			for i := range xs {
+				xs[i] = int64(int16(rng.Uint64()))
+			}
+			chains := [][]ChainOp{
+				{{Tab: tabs[0], Lag: 0, Sub: false}, {Tab: tabs[1], Lag: 1, Sub: true}, {Tab: tabs[2], Lag: 5, Sub: false}, {Tab: tabs[3], Lag: 31, Sub: true}},
+				{{Tab: tabs[3], Lag: 2, Sub: true}, {Tab: tabs[0], Lag: 0, Sub: false}, {Tab: tabs[1], Lag: n + 3, Sub: true}},
+				{{Tab: tabs[2], Lag: 4, Sub: false}},
+				{{Tab: tabs[0], Lag: 0, Sub: false}, {Tab: tabs[3], Lag: 6, Sub: true}},
+				{{Tab: tabs[1], Lag: 1, Sub: true}, {Tab: tabs[2], Lag: 0, Sub: true}},
+				{},
+			}
+			for _, spec := range sliceSpecs() {
+				ad, err := compileAdderMode(spec, mode)
+				if err != nil {
+					t.Fatal(err)
+				}
+				shift := uint(3)
+				outW := spec.Width - 3
+				for ci, ops := range chains {
+					chain := ad.NewChain(ops)
+					dst := make([]int64, n)
+					chain.Run(dst, xs, shift, outW)
+					for i := 0; i < n; i++ {
+						var acc int64
+						for o, op := range ops {
+							var x int64
+							if j := i - op.Lag; j >= 0 {
+								x = xs[j]
+							}
+							p := op.Tab.Mul(x)
+							switch {
+							case o == 0 && op.Sub:
+								acc = ad.SubSigned(0, p)
+							case o == 0:
+								acc = p
+							case op.Sub:
+								acc = ad.SubSigned(acc, p)
+							default:
+								acc = ad.AddSigned(acc, p)
+							}
+						}
+						want := arith.ToSigned(uint64(acc)>>shift, outW)
+						if dst[i] != want {
+							t.Fatalf("%+v chain %d: Run[%d] = %d, scalar chain %d", spec, ci, i, dst[i], want)
+						}
+					}
+				}
+				// FoldSlice vs the scalar chain over window-sized slices.
+				for _, wlen := range []int{1, 2, 5, 32} {
+					vals := make([]int64, wlen)
+					for i := range vals {
+						vals[i] = int64(int32(rng.Uint64()))
+					}
+					got := ad.FoldSlice(vals)
+					want := vals[0]
+					for _, v := range vals[1:] {
+						want = ad.AddSigned(want, v)
+					}
+					if got != want {
+						t.Fatalf("%+v: FoldSlice(len=%d) = %d, scalar chain %d", spec, wlen, got, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestConstMulTableFastFill compares the decomposed table construction
+// against the generic per-entry plan walk for a spread of multiplier
+// configurations and coefficients (both coefficient signs, both elementary
+// kinds, approximation depths crossing the subproduct boundaries).
+func TestConstMulTableFastFill(t *testing.T) {
+	coeffs := []int64{1, 2, 5, 31, -1, -6, 0}
+	for _, mul := range []approx.MultKind{approx.AppMultV1, approx.AppMultV2} {
+		for _, add := range []approx.AdderKind{approx.ApproxAdd5, approx.ApproxAdd2} {
+			for _, k := range []int{2, 8, 16, 24} {
+				spec := arith.Multiplier{Width: 16, ApproxLSBs: k, Mult: mul, Add: add}
+				m, err := CompileMultiplier(spec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, c := range coeffs {
+					tab, err := NewConstMulTable(spec, c)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for i := 0; i < 1<<16; i++ {
+						x := arith.ToSigned(uint64(i), 16)
+						if got, want := tab.Mul(x), m.MulSigned(x, c); got != want {
+							t.Fatalf("%+v c=%d: tab[%d] = %d, plan walk %d", spec, c, x, got, want)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSquareTableSignSymmetry checks the halved square-table construction
+// against direct plan evaluation for both operand signs.
+func TestSquareTableSignSymmetry(t *testing.T) {
+	spec := arith.Multiplier{Width: 16, ApproxLSBs: 8, Mult: approx.AppMultV1, Add: approx.ApproxAdd5}
+	m, err := CompileMultiplier(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := NewSquareTable(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1<<16; i++ {
+		x := arith.ToSigned(uint64(i), 16)
+		if got, want := tab.Square(x), m.MulSigned(x, x); got != want {
+			t.Fatalf("square[%d] = %d, plan walk %d", x, got, want)
+		}
+	}
+}

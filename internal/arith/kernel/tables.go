@@ -30,11 +30,69 @@ func NewConstMulTable(spec arith.Multiplier, c int64) (*ConstMulTable, error) {
 	}
 	n := 1 << spec.Width
 	t := &ConstMulTable{opMask: mask(spec.Width), coeff: c, tab: make([]int64, n)}
-	for i := 0; i < n; i++ {
-		x := arith.ToSigned(uint64(i), spec.Width)
-		t.tab[i] = m.MulSigned(x, c)
+	if !t.fillFast(m, c) {
+		for i := 0; i < n; i++ {
+			x := arith.ToSigned(uint64(i), spec.Width)
+			t.tab[i] = m.MulSigned(x, c)
+		}
 	}
 	return t, nil
+}
+
+// fillFast builds the table through the plan's top-level decomposition
+// instead of a full tree walk per entry. With the coefficient fixed, each
+// of the root's four half-width subproducts depends on only one half of
+// the variable operand, so 4 x 2^(Width/2) child evaluations plus the two
+// compiled accumulations per entry replace the recursive evaluation, and
+// the two signs of one magnitude share the single unsigned core product
+// (MulSigned routes +x and -x through the same |x|*|c|). It reports false
+// when the plan has no composite root (exact or oracle plans, or 2-bit
+// widths), leaving the caller on the generic loop.
+func (t *ConstMulTable) fillFast(m *Multiplier, c int64) bool {
+	n := m.root
+	if n == nil || n.exact || n.leaf {
+		return false
+	}
+	w := m.spec.Width
+	cm := uint64(c)
+	neg := false
+	if c < 0 {
+		neg = true
+		cm = uint64(-c)
+	}
+	cm &= m.opMask
+	h := uint(n.h)
+	cl, ch := cm&n.hMask, cm>>h
+	size := 1 << h
+	sub := make([]uint64, 4*size)
+	tll, thl := sub[:size], sub[size:2*size]
+	tlh, thh := sub[2*size:3*size], sub[3*size:]
+	for a := 0; a < size; a++ {
+		ua := uint64(a)
+		tll[a] = n.ll.eval(ua, cl)
+		thl[a] = n.hl.eval(ua, cl)
+		tlh[a] = n.lh.eval(ua, ch)
+		thh[a] = n.hh.eval(ua, ch)
+	}
+	half := 1 << uint(w-1)
+	for mag := 0; mag <= half; mag++ {
+		a := uint64(mag) & m.opMask
+		alo, ahi := a&n.hMask, a>>h
+		mid := n.addMid.Add(thl[ahi], tlh[alo])
+		s := n.addLo.Add(tll[alo], mid<<h)
+		s = n.addLo.Add(s, thh[ahi]<<uint(n.w))
+		p := arith.ToSigned(s&n.prodMask&m.prodMask, 2*w)
+		if neg {
+			p = -p
+		}
+		if mag < half {
+			t.tab[mag] = p
+		}
+		if mag > 0 {
+			t.tab[(uint64(1)<<uint(w)-uint64(mag))&t.opMask] = -p
+		}
+	}
+	return true
 }
 
 // Coeff returns the fixed coefficient.
@@ -64,9 +122,18 @@ func NewSquareTable(spec arith.Multiplier) (*SquareTable, error) {
 	}
 	n := 1 << spec.Width
 	t := &SquareTable{opMask: mask(spec.Width), tab: make([]int64, n)}
-	for i := 0; i < n; i++ {
-		x := arith.ToSigned(uint64(i), spec.Width)
-		t.tab[i] = m.MulSigned(x, x)
+	// Squares are sign-symmetric (the sign-magnitude wrapper cancels both
+	// signs), so the two operand signs of one magnitude share one core
+	// product evaluation.
+	half := n / 2
+	for mag := 0; mag <= half; mag++ {
+		p := m.MulSigned(int64(mag), int64(mag))
+		if mag < half {
+			t.tab[mag] = p
+		}
+		if mag > 0 {
+			t.tab[(uint64(n)-uint64(mag))&t.opMask] = p
+		}
 	}
 	return t, nil
 }

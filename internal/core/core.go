@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"sync"
 
 	"github.com/xbiosip/xbiosip/internal/approx"
 	"github.com/xbiosip/xbiosip/internal/dse"
@@ -53,27 +54,75 @@ type Quality struct {
 // and reference R peaks: 150 ms at 200 Hz.
 const DefaultPeakTolerance = 30
 
+// EvalOptions tunes the evaluation engine behind an Evaluator.
+type EvalOptions struct {
+	// Workers is the evaluation pool size (0 = runtime.GOMAXPROCS(0)).
+	// The pool serves both whole-design jobs (the explorer's candidate
+	// batches) and the record shards a single design splits into.
+	Workers int
+	// RecordShards splits one design evaluation into contiguous
+	// per-record-range sub-jobs on the worker pool: 0 selects one shard
+	// per record (the default), 1 keeps a design's records strictly
+	// sequential. Results are bit-identical for every value; see package
+	// sched.
+	RecordShards int
+}
+
 // Evaluator evaluates pipeline configurations over a fixed record set,
 // caching the accurate reference outputs (the "behavioral model"
 // evaluation loop of the paper's tool-flow, Fig 9).
 //
-// Evaluate is safe for concurrent use and memoized through a sched
-// engine: the design-space explorer fans candidate evaluations out across
-// worker goroutines, and any design revisited — by a later phase, a
-// baseline, or another experiment over the same record set — is served
-// from the cache instead of re-simulated.
+// Evaluate is safe for concurrent use and memoized through a two-level
+// sched engine: the design-space explorer fans candidate evaluations out
+// across worker goroutines, a cache-missing design additionally shards
+// its records across the same pool, and any design revisited — by a later
+// phase, a baseline, or another experiment over the same record set — is
+// served from the cache instead of re-simulated.
 type Evaluator struct {
 	Records []*ecg.Record
-	// Tolerance is the peak matching window in samples. Mutate it only
-	// before the first Evaluate: cached results are not invalidated.
+	// Tolerance is the peak matching window in samples. It may be set
+	// freely before the first Evaluate; the first evaluation latches it
+	// (cached results are keyed on it implicitly), and any later mutation
+	// makes Evaluate fail instead of silently mixing windows.
 	Tolerance int
 
-	refFiltered [][]float64
-	eng         *sched.Evaluator[Quality]
+	tolOnce sync.Once
+	tol     int
+
+	refs []*metrics.SignalRef
+	eng  *sched.Evaluator[Quality]
+
+	// scratch is a free list of warm per-worker simulation state
+	// (pipeline, stage buffers, detector): a shard evaluation is
+	// allocation-free once a scratch for its configuration exists.
+	scratch struct {
+		sync.Mutex
+		free []*recScratch
+	}
 }
 
-// NewEvaluator prepares an evaluator over the given records.
+// recScratch is one worker's reusable simulation state.
+type recScratch struct {
+	out  pantompkins.Outputs
+	det  pantompkins.PeakDetector
+	pipe *pantompkins.Pipeline
+	cfg  pantompkins.Config
+}
+
+// recPartial is the per-record slice of a Quality record.
+type recPartial struct {
+	psnr, ssim float64
+	match      metrics.MatchResult
+}
+
+// NewEvaluator prepares an evaluator over the given records with default
+// engine options (all CPUs, one record shard per record).
 func NewEvaluator(records []*ecg.Record) (*Evaluator, error) {
+	return NewEvaluatorOpts(records, EvalOptions{})
+}
+
+// NewEvaluatorOpts prepares an evaluator with explicit engine options.
+func NewEvaluatorOpts(records []*ecg.Record, opts EvalOptions) (*Evaluator, error) {
 	if len(records) == 0 {
 		return nil, fmt.Errorf("core: evaluator needs at least one record")
 	}
@@ -84,9 +133,13 @@ func NewEvaluator(records []*ecg.Record) (*Evaluator, error) {
 	}
 	for _, rec := range records {
 		out := acc.Run(rec.Samples)
-		e.refFiltered = append(e.refFiltered, metrics.ToFloat(out.Filtered))
+		ref, err := metrics.NewSignalRef(out.Filtered, metrics.SSIMWindow)
+		if err != nil {
+			return nil, fmt.Errorf("core: reference for record %q: %w", rec.Name, err)
+		}
+		e.refs = append(e.refs, ref)
 	}
-	e.eng = sched.New(0, e.simulate)
+	e.eng = sched.NewSharded[Quality, recPartial](opts.Workers, len(records), opts.RecordShards, e.evalRecord, e.reduce)
 	return e, nil
 }
 
@@ -101,44 +154,82 @@ func (e *Evaluator) CacheStats() sched.Stats { return e.eng.Stats() }
 // Evaluate returns the (possibly cached) aggregated quality of cfg over
 // every record.
 func (e *Evaluator) Evaluate(cfg pantompkins.Config) (Quality, error) {
+	if err := e.latchTolerance(); err != nil {
+		return Quality{}, err
+	}
 	return e.eng.Evaluate(cfg)
 }
 
-// simulate runs the full pipeline for cfg over every record — the
-// uncached evaluation behind Evaluate.
-func (e *Evaluator) simulate(cfg pantompkins.Config) (Quality, error) {
-	p, err := pantompkins.New(cfg)
-	if err != nil {
-		return Quality{}, err
+// latchTolerance pins the matching window at the first evaluation and
+// rejects later mutation: the cache cannot be invalidated, so changing
+// the window mid-flight would silently mix results measured under
+// different tolerances.
+func (e *Evaluator) latchTolerance() error {
+	e.tolOnce.Do(func() { e.tol = e.Tolerance })
+	if e.Tolerance != e.tol {
+		return fmt.Errorf("core: Tolerance mutated after the first Evaluate (latched %d, now %d); build a new Evaluator instead",
+			e.tol, e.Tolerance)
 	}
+	return nil
+}
+
+// getScratch pops warm simulation state (or a fresh zero one).
+func (e *Evaluator) getScratch() *recScratch {
+	e.scratch.Lock()
+	defer e.scratch.Unlock()
+	if n := len(e.scratch.free); n > 0 {
+		sc := e.scratch.free[n-1]
+		e.scratch.free = e.scratch.free[:n-1]
+		return sc
+	}
+	return &recScratch{}
+}
+
+func (e *Evaluator) putScratch(sc *recScratch) {
+	e.scratch.Lock()
+	defer e.scratch.Unlock()
+	e.scratch.free = append(e.scratch.free, sc)
+}
+
+// evalRecord simulates cfg over one record — the unit of the record-shard
+// scheduling level. After warm-up (a pooled scratch holding cfg's
+// pipeline exists) a call performs no allocations.
+func (e *Evaluator) evalRecord(cfg pantompkins.Config, ri int) (recPartial, error) {
+	sc := e.getScratch()
+	defer e.putScratch(sc)
+	if sc.pipe == nil || sc.cfg != cfg {
+		p, err := pantompkins.New(cfg)
+		if err != nil {
+			return recPartial{}, err
+		}
+		sc.pipe, sc.cfg = p, cfg
+	}
+	rec := e.Records[ri]
+	sc.pipe.RunInto(&sc.out, rec.Samples)
+	det := sc.det.Detect(sc.out.Filtered, sc.out.Integrated, rec.FS)
+	psnr, ssim, err := e.refs[ri].Quality(sc.out.Filtered)
+	if err != nil {
+		return recPartial{}, err
+	}
+	m, err := metrics.MatchPeaks(rec.Annotations, det.Peaks, e.tol)
+	if err != nil {
+		return recPartial{}, err
+	}
+	// Identical signals give +Inf PSNR; clamp per record for aggregation.
+	return recPartial{psnr: metrics.ClampPSNR(psnr), ssim: ssim, match: m}, nil
+}
+
+// reduce folds the record partials — always in record order, whatever the
+// worker count or shard split — into the aggregated Quality.
+func (e *Evaluator) reduce(_ pantompkins.Config, parts []recPartial) (Quality, error) {
 	var q Quality
-	var out pantompkins.Outputs // stage buffers shared across records
 	psnrSum, ssimSum := 0.0, 0.0
-	for ri, rec := range e.Records {
-		p.RunInto(&out, rec.Samples)
-		det := pantompkins.Detect(out.Filtered, out.Integrated, rec.FS)
-		f := metrics.ToFloat(out.Filtered)
-		psnr, err := metrics.PSNR(e.refFiltered[ri], f)
-		if err != nil {
-			return Quality{}, err
-		}
-		ssim, err := metrics.SSIM(e.refFiltered[ri], f, metrics.SSIMWindow)
-		if err != nil {
-			return Quality{}, err
-		}
-		// Identical signals give +Inf PSNR; clamp for aggregation.
-		if math.IsInf(psnr, 1) {
-			psnr = 120
-		}
-		psnrSum += psnr
-		ssimSum += ssim
-		m, err := metrics.MatchPeaks(rec.Annotations, det.Peaks, e.Tolerance)
-		if err != nil {
-			return Quality{}, err
-		}
-		q.Match.TruePositives += m.TruePositives
-		q.Match.FalsePositives += m.FalsePositives
-		q.Match.FalseNegatives += m.FalseNegatives
+	for _, p := range parts {
+		psnrSum += p.psnr
+		ssimSum += p.ssim
+		q.Match.TruePositives += p.match.TruePositives
+		q.Match.FalsePositives += p.match.FalsePositives
+		q.Match.FalseNegatives += p.match.FalseNegatives
 	}
 	q.PSNR = psnrSum / float64(len(e.Records))
 	q.SSIM = ssimSum / float64(len(e.Records))

@@ -1,10 +1,13 @@
 package core
 
 import (
+	"fmt"
 	"math"
+	"runtime"
 	"testing"
 
 	"github.com/xbiosip/xbiosip/internal/approx"
+	"github.com/xbiosip/xbiosip/internal/dse"
 	"github.com/xbiosip/xbiosip/internal/dsp"
 	"github.com/xbiosip/xbiosip/internal/ecg"
 	"github.com/xbiosip/xbiosip/internal/energy"
@@ -137,5 +140,154 @@ func TestMethodologyEndToEnd(t *testing.T) {
 	}
 	if preQ.PSNR < m.SignalConstraint {
 		t.Errorf("pre-processing PSNR %.2f below gate %.2f", preQ.PSNR, m.SignalConstraint)
+	}
+}
+
+// TestEvaluatorShardDeterminism is the shard-reduction determinism gate:
+// Quality records, Evaluations counts and full DSE traces must be
+// bit-identical across every combination of Workers in {1, 2, GOMAXPROCS}
+// and RecordShards in {1, len(records)}, pinned against the sequential
+// unsharded run.
+func TestEvaluatorShardDeterminism(t *testing.T) {
+	var records []*ecg.Record
+	for i := 0; i < 3; i++ {
+		rec, err := ecg.NSRDBRecord(i, 2500)
+		if err != nil {
+			t.Fatal(err)
+		}
+		records = append(records, rec)
+	}
+	stim, err := energy.NewStimulus(records[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	em := energy.NewModel(stim)
+
+	probe := func(k int) pantompkins.Config {
+		var cfg pantompkins.Config
+		cfg.Stage[pantompkins.HPF] = dsp.ArithConfig{LSBs: k, Add: approx.ApproxAdd5, Mul: approx.AppMultV1}
+		return cfg
+	}
+	type outcome struct {
+		qualities []Quality
+		evals     int
+		res       dse.Result
+	}
+	run := func(workers, shards int) outcome {
+		eval, err := NewEvaluatorOpts(records, EvalOptions{Workers: workers, RecordShards: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var o outcome
+		for _, k := range []int{0, 4, 10, 16} {
+			q, err := eval.Evaluate(probe(k))
+			if err != nil {
+				t.Fatal(err)
+			}
+			o.qualities = append(o.qualities, q)
+		}
+		opt := dse.Options{
+			Base:       pantompkins.AccurateConfig(),
+			Stages:     []pantompkins.Stage{pantompkins.LPF, pantompkins.HPF},
+			LSBs:       DefaultLSBLists(),
+			Mults:      []approx.MultKind{approx.AppMultV1},
+			Adds:       []approx.AdderKind{approx.ApproxAdd5},
+			Constraint: 15,
+			Workers:    workers,
+		}
+		evalPSNR := func(cfg pantompkins.Config) (float64, error) {
+			q, err := eval.Evaluate(cfg)
+			if err != nil {
+				return 0, err
+			}
+			return q.PSNR, nil
+		}
+		o.res, err = dse.Generate(opt, evalPSNR, em.StageEnergy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o.evals = eval.Evaluations()
+		return o
+	}
+
+	ref := run(1, 1)
+	workerCounts := []int{1, 2, runtime.GOMAXPROCS(0)}
+	for _, workers := range workerCounts {
+		// The distinct-simulation count may grow with Workers > 1 (the
+		// explorer speculates past stopping points, a documented PR 1
+		// property) but must never depend on the record-shard split.
+		evalsRef := -1
+		for _, shards := range []int{1, len(records)} {
+			got := run(workers, shards)
+			label := fmt.Sprintf("workers=%d shards=%d", workers, shards)
+			for i := range ref.qualities {
+				if got.qualities[i] != ref.qualities[i] {
+					t.Errorf("%s: quality[%d] = %+v, sequential %+v", label, i, got.qualities[i], ref.qualities[i])
+				}
+			}
+			if evalsRef < 0 {
+				evalsRef = got.evals
+			} else if got.evals != evalsRef {
+				t.Errorf("%s: %d distinct simulations, %d with shards=1", label, got.evals, evalsRef)
+			}
+			if workers == 1 && got.evals != ref.evals {
+				t.Errorf("%s: %d evaluations, sequential %d", label, got.evals, ref.evals)
+			}
+			if got.res.Config != ref.res.Config || got.res.Quality != ref.res.Quality || got.res.Evaluations != ref.res.Evaluations {
+				t.Errorf("%s: DSE result %+v, sequential %+v", label, got.res, ref.res)
+			}
+			if len(got.res.Explored) != len(ref.res.Explored) {
+				t.Fatalf("%s: trace length %d, sequential %d", label, len(got.res.Explored), len(ref.res.Explored))
+			}
+			for i := range ref.res.Explored {
+				if got.res.Explored[i] != ref.res.Explored[i] {
+					t.Errorf("%s: trace[%d] = %+v, sequential %+v", label, i, got.res.Explored[i], ref.res.Explored[i])
+				}
+			}
+		}
+	}
+}
+
+// TestEvaluatorWarmShardAllocationFree checks the per-record shard
+// evaluation performs zero allocations once its scratch (pipeline, stage
+// buffers, detector) is warm.
+func TestEvaluatorWarmShardAllocationFree(t *testing.T) {
+	eval := testEvaluator(t, 3000)
+	var cfg pantompkins.Config
+	cfg.Stage[pantompkins.LPF] = dsp.ArithConfig{LSBs: 8, Add: approx.ApproxAdd5, Mul: approx.AppMultV1}
+	// Warm: builds cfg's pipeline into the scratch pool and the result
+	// cache (the alloc probe below bypasses the cache).
+	if _, err := eval.Evaluate(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eval.evalRecord(cfg, 0); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(50, func() {
+		if _, err := eval.evalRecord(cfg, 0); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("warm shard evaluation allocates %.2f times per record, want 0", avg)
+	}
+}
+
+// TestEvaluatorToleranceLatch pins the Tolerance contract: mutation before
+// the first Evaluate applies, mutation after it fails loudly instead of
+// silently mixing matching windows with cached results.
+func TestEvaluatorToleranceLatch(t *testing.T) {
+	eval := testEvaluator(t, 3000)
+	eval.Tolerance = 10 // before the first Evaluate: honoured
+	if _, err := eval.Evaluate(pantompkins.AccurateConfig()); err != nil {
+		t.Fatal(err)
+	}
+	eval.Tolerance = 25
+	if _, err := eval.Evaluate(pantompkins.AccurateConfig()); err == nil {
+		t.Fatal("Tolerance mutation after the first Evaluate was silently accepted")
+	}
+	eval.Tolerance = 10 // restoring the latched value heals the evaluator
+	if _, err := eval.Evaluate(pantompkins.AccurateConfig()); err != nil {
+		t.Fatalf("restored tolerance rejected: %v", err)
 	}
 }

@@ -69,6 +69,13 @@ type Options struct {
 	// results stay in the cache and are not traced). The result is
 	// identical for every value.
 	Workers int
+	// Chunk is the speculative batch granularity of the stopping-mode
+	// scans (candidates submitted per barrier): 0 selects twice the worker
+	// count. Larger chunks amortise the per-batch barrier when individual
+	// evaluations are cheap, at the price of more speculated simulations
+	// past a stopping point; the traced result is identical for every
+	// value. Unbounded scans (scanAll) always go out as one batch.
+	Chunk int
 	// Engine, when non-nil, is a caller-shared evaluation engine used
 	// instead of a run-private one; its function must agree with the
 	// EvaluateFunc passed alongside it. Sharing one engine across runs
@@ -220,7 +227,10 @@ func (e *explorer) scan(cands []map[pantompkins.Stage]dsp.ArithConfig, phase int
 	}
 	chunk := 1
 	if e.eng != nil {
-		chunk = 2 * e.eng.Workers()
+		chunk = e.opt.Chunk
+		if chunk <= 0 {
+			chunk = 2 * e.eng.Workers()
+		}
 		if mode == scanAll {
 			chunk = len(cfgs) // no stopping point, no reason for barriers
 		}

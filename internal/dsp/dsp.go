@@ -10,11 +10,27 @@ package dsp
 
 import (
 	"fmt"
+	"unsafe"
 
 	"github.com/xbiosip/xbiosip/internal/approx"
 	"github.com/xbiosip/xbiosip/internal/arith"
 	"github.com/xbiosip/xbiosip/internal/arith/kernel"
 )
+
+// overlaps reports whether two slices share any backing memory. The batch
+// kernels read delayed input samples after earlier output indices were
+// written, so overlapping buffers must be split (the per-sample paths
+// copied inputs into the delay line first and tolerated any overlap).
+func overlaps(a, b []int64) bool {
+	if len(a) == 0 || len(b) == 0 {
+		return false
+	}
+	a0 := uintptr(unsafe.Pointer(&a[0]))
+	a1 := a0 + uintptr(len(a))*unsafe.Sizeof(int64(0))
+	b0 := uintptr(unsafe.Pointer(&b[0]))
+	b1 := b0 + uintptr(len(b))*unsafe.Sizeof(int64(0))
+	return a0 < b1 && b0 < a1
+}
 
 // ArithConfig selects the approximation of one processing stage: the
 // number of approximated LSBs and the elementary cells used there. The
@@ -48,7 +64,8 @@ const AccWidth = 32
 // their product magnitude.
 type FIR struct {
 	coeffs   []int64
-	ops      []firOp // non-zero taps in tap order
+	ops      []firOp       // non-zero taps in tap order
+	chain    *kernel.Chain // the same taps compiled as one slice kernel
 	adder    *kernel.Adder
 	outShift int
 	// hist is the delay line stored twice (hist[i] == hist[i+n]), so a
@@ -111,6 +128,11 @@ func NewFIR(coeffs []int64, outShift int, cfg ArithConfig) (*FIR, error) {
 		}
 		f.ops = append(f.ops, firOp{tab: tab, lag: i, sub: c < 0})
 	}
+	chainOps := make([]kernel.ChainOp, len(f.ops))
+	for i, op := range f.ops {
+		chainOps[i] = kernel.ChainOp{Tab: op.tab, Lag: op.lag, Sub: op.sub}
+	}
+	f.chain = adder.NewChain(chainOps)
 	return f, nil
 }
 
@@ -170,13 +192,40 @@ func (f *FIR) Filter(xs []int64) []int64 { return f.FilterInto(nil, xs) }
 // FilterInto is Filter writing into dst, which is grown only when its
 // capacity is insufficient — the batch path for callers that stream many
 // records without per-record allocation. It returns the output slice.
+//
+// The batch path runs the compiled chain kernel: every tap's product
+// lookup and the adder's closed form are inlined in one sample loop with
+// the accumulator in a register (no per-operation indirect calls), which
+// is bit-identical to the per-sample Process chain. The delay line is
+// left exactly as if the signal had been streamed, so Process may
+// continue where the batch ended.
 func (f *FIR) FilterInto(dst, xs []int64) []int64 {
-	f.Reset()
 	dst = resize(dst, len(xs))
-	for i, x := range xs {
-		dst[i] = f.Process(x)
+	if overlaps(dst, xs) {
+		// The chain reads delayed samples after their output index was
+		// written; overlapping buffers must split.
+		dst = make([]int64, len(xs))
 	}
+	f.chain.Run(dst, xs, uint(f.outShift), SampleWidth)
+	f.seedState(xs)
 	return dst
+}
+
+// seedState rebuilds the delay line as the per-sample path would have
+// left it after consuming xs from a cleared filter.
+func (f *FIR) seedState(xs []int64) {
+	f.Reset()
+	n := f.n
+	start := len(xs) - n
+	if start < 0 {
+		start = 0
+	}
+	for t := start; t < len(xs); t++ {
+		s := t % n
+		f.hist[s] = xs[t]
+		f.hist[s+n] = xs[t]
+	}
+	f.pos = len(xs) % n
 }
 
 // resize returns a slice of length n, reusing s's backing array when it is
@@ -228,31 +277,76 @@ func (m *MovingSum) Reset() {
 }
 
 // Process consumes one sample and returns the windowed sum, shifted and
-// sliced like the hardware output bus.
+// sliced like the hardware output bus. The window chains in ring-slot
+// order through one fold kernel (a single indirect call with the adder's
+// closed form inlined over the window).
 func (m *MovingSum) Process(x int64) int64 {
 	m.hist[m.pos] = x
 	m.pos++
 	if m.pos == len(m.hist) {
 		m.pos = 0
 	}
-	acc := m.hist[0]
-	for i := 1; i < len(m.hist); i++ {
-		acc = m.adder.AddSigned(acc, m.hist[i])
-	}
+	acc := m.adder.FoldSlice(m.hist)
 	return arith.ToSigned(uint64(acc)>>uint(m.outShift), AccWidth-m.outShift)
 }
 
 // Filter runs the integrator over a whole signal from a cleared window.
 func (m *MovingSum) Filter(xs []int64) []int64 { return m.FilterInto(nil, xs) }
 
-// FilterInto is Filter writing into dst (grown only when needed).
+// FilterInto is Filter writing into dst (grown only when needed). With an
+// exact adder the window sum slides (add the new sample, drop the
+// expired one) instead of re-folding the window per sample — bit-identical
+// because native addition is associative modulo the accumulator width; the
+// approximate chains are order-sensitive and keep the per-sample fold.
 func (m *MovingSum) FilterInto(dst, xs []int64) []int64 {
 	m.Reset()
 	dst = resize(dst, len(xs))
+	if overlaps(dst, xs) {
+		// The sliding sum reads expired samples — and the fold loop later
+		// inputs — after earlier output indices were written; overlapping
+		// buffers must split.
+		dst = make([]int64, len(xs))
+	}
+	w := len(m.hist)
+	shift := uint(m.outShift)
+	if m.adder.Exact() {
+		const mW = uint64(1)<<AccWidth - 1
+		var s int64
+		for i, x := range xs {
+			s += x
+			if i >= w {
+				s -= xs[i-w]
+			}
+			acc := arith.ToSigned(uint64(s)&mW, AccWidth)
+			dst[i] = arith.ToSigned(uint64(acc)>>shift, AccWidth-m.outShift)
+		}
+		m.seedState(xs)
+		return dst
+	}
 	for i, x := range xs {
-		dst[i] = m.Process(x)
+		m.hist[m.pos] = x
+		m.pos++
+		if m.pos == w {
+			m.pos = 0
+		}
+		acc := m.adder.FoldSlice(m.hist)
+		dst[i] = arith.ToSigned(uint64(acc)>>shift, AccWidth-m.outShift)
 	}
 	return dst
+}
+
+// seedState rebuilds the ring as the per-sample path would have left it.
+func (m *MovingSum) seedState(xs []int64) {
+	m.Reset()
+	w := len(m.hist)
+	start := len(xs) - w
+	if start < 0 {
+		start = 0
+	}
+	for t := start; t < len(xs); t++ {
+		m.hist[t%w] = xs[t]
+	}
+	m.pos = len(xs) % w
 }
 
 // Squarer is the point-by-point squaring stage (one 16x16 multiplier,
@@ -292,8 +386,14 @@ func (s *Squarer) Filter(xs []int64) []int64 { return s.FilterInto(nil, xs) }
 // FilterInto is Filter writing into dst (grown only when needed).
 func (s *Squarer) FilterInto(dst, xs []int64) []int64 {
 	dst = resize(dst, len(xs))
+	if overlaps(dst, xs) && &dst[0] != &xs[0] {
+		// A same-index transform tolerates identical buffers but not
+		// offset overlap (an output write would clobber a later input).
+		dst = make([]int64, len(xs))
+	}
+	shift := uint(s.outShift)
 	for i, x := range xs {
-		dst[i] = s.Process(x)
+		dst[i] = s.tab.Square(x) >> shift
 	}
 	return dst
 }

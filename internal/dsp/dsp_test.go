@@ -300,3 +300,55 @@ func TestFilterIntoReusesBuffers(t *testing.T) {
 		}
 	}
 }
+
+// TestFilterIntoOverlappingBuffers feeds the batch paths output buffers
+// that overlap the input (same start and offset overlap, both directions)
+// and demands results identical to a disjoint destination: the chain and
+// sliding kernels read delayed inputs after earlier outputs were written,
+// so overlapping buffers must be detected and split internally.
+func TestFilterIntoOverlappingBuffers(t *testing.T) {
+	const n = 256
+	base := make([]int64, n+8)
+	for i := range base {
+		base[i] = int64(int16(i*2654435761 ^ i<<7))
+	}
+	overlapCases := func() map[string][2][]int64 {
+		// Fresh backing per case: the aliased runs mutate it.
+		buf := append([]int64(nil), base...)
+		return map[string][2][]int64{
+			"same-start": {buf[:n], buf[:n]},
+			"dst-ahead":  {buf[4 : n+4], buf[:n]},
+			"dst-behind": {buf[:n], buf[4 : n+4]},
+		}
+	}
+	for _, cfg := range []ArithConfig{Accurate(), {LSBs: 8, Add: approx.ApproxAdd5, Mul: approx.AppMultV1}} {
+		fir, err := NewFIR([]int64{2, -1, 0, 3, 1}, 2, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mwi, err := NewMovingSum(8, 2, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sqr, err := NewSquarer(0, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stages := map[string]interface {
+			FilterInto(dst, xs []int64) []int64
+		}{"fir": fir, "mwi": mwi, "sqr": sqr}
+		for sname, stage := range stages {
+			for cname, bufs := range overlapCases() {
+				dst, xs := bufs[0], bufs[1]
+				in := append([]int64(nil), xs...)
+				want := stage.FilterInto(nil, in)
+				got := stage.FilterInto(dst, xs)
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("%v %s %s: out[%d] = %d, disjoint run %d", cfg, sname, cname, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}

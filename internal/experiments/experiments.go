@@ -33,12 +33,24 @@ type Setup struct {
 	// explorations run with (0 = GOMAXPROCS, 1 = sequential). Results are
 	// identical for every value; see package sched.
 	Workers int
+	// RecordShards is the record-shard split one design evaluation fans
+	// out into (0 = one shard per record, 1 = sequential records); fixed
+	// at setup time because the evaluator's engine is built here. Results
+	// are identical for every value.
+	RecordShards int
 }
 
 // NewSetup builds the environment over the first numRecords NSRDB-like
-// records of n samples each. The paper's unit is one 20,000-sample
-// recording; smaller values trade fidelity for speed.
+// records of n samples each with default engine options. The paper's unit
+// is one 20,000-sample recording; smaller values trade fidelity for
+// speed.
 func NewSetup(numRecords, n int) (*Setup, error) {
+	return NewSetupOpts(numRecords, n, core.EvalOptions{})
+}
+
+// NewSetupOpts is NewSetup with explicit evaluation-engine options
+// (worker count and record-shard split).
+func NewSetupOpts(numRecords, n int, opts core.EvalOptions) (*Setup, error) {
 	if numRecords < 1 || numRecords > ecg.NumNSRDBRecords {
 		return nil, fmt.Errorf("experiments: record count %d out of range [1,%d]", numRecords, ecg.NumNSRDBRecords)
 	}
@@ -50,7 +62,7 @@ func NewSetup(numRecords, n int) (*Setup, error) {
 		}
 		records = append(records, rec)
 	}
-	eval, err := core.NewEvaluator(records)
+	eval, err := core.NewEvaluatorOpts(records, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -58,13 +70,18 @@ func NewSetup(numRecords, n int) (*Setup, error) {
 	if err != nil {
 		return nil, err
 	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	return &Setup{
-		Records: records,
-		Eval:    eval,
-		Energy:  energy.NewModel(stim),
-		Add:     approx.ApproxAdd5,
-		Mul:     approx.AppMultV1,
-		Workers: runtime.GOMAXPROCS(0),
+		Records:      records,
+		Eval:         eval,
+		Energy:       energy.NewModel(stim),
+		Add:          approx.ApproxAdd5,
+		Mul:          approx.AppMultV1,
+		Workers:      workers,
+		RecordShards: opts.RecordShards,
 	}, nil
 }
 

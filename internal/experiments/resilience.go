@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"fmt"
-	"math"
 	"strings"
 
 	"github.com/xbiosip/xbiosip/internal/metrics"
@@ -67,13 +66,9 @@ func FormatResilience(stage pantompkins.Stage, rows []ResilienceRow) string {
 	fmt.Fprintf(&sb, "%4s %8s %8s %8s %8s %8s %7s %9s\n",
 		"k", "area(x)", "power(x)", "delay(x)", "energy(x)", "PSNR", "SSIM", "accuracy")
 	for _, r := range rows {
-		psnr := r.PSNR
-		if math.IsInf(psnr, 1) {
-			psnr = 120
-		}
 		fmt.Fprintf(&sb, "%4d %8.2f %8.2f %8.2f %8.2f %8.2f %7.3f %8.2f%%\n",
 			r.K, r.Reductions.Area, r.Reductions.Power, r.Reductions.Delay, r.Reductions.Energy,
-			psnr, r.SSIM, 100*r.Accuracy)
+			metrics.ClampPSNR(r.PSNR), r.SSIM, 100*r.Accuracy)
 	}
 	fmt.Fprintf(&sb, "error-resilience threshold: %d LSBs\n", ResilienceThreshold(rows))
 	return sb.String()

@@ -183,3 +183,153 @@ func ToFloat[T int16 | int32 | int64 | int](xs []T) []float64 {
 	}
 	return out
 }
+
+// PSNRClamp is the PSNR (dB) assigned to bit-identical signals when a
+// finite value is needed for aggregation or display: +Inf clamps here.
+const PSNRClamp = 120
+
+// ClampPSNR maps the +Inf PSNR of identical signals to PSNRClamp and
+// leaves every finite value untouched. Both the evaluation loop (package
+// core) and the experiment renderings clamp through this one function so
+// the constant cannot drift.
+func ClampPSNR(psnr float64) float64 {
+	if math.IsInf(psnr, 1) {
+		return PSNRClamp
+	}
+	return psnr
+}
+
+// refWindow is one precomputed SSIM window statistic of the reference.
+type refWindow struct {
+	mx, vx float64
+}
+
+// SignalRef is a reference signal prepared for repeated single-pass
+// quality evaluation: the peak, dynamic range and per-window SSIM
+// statistics are computed once, so grading one candidate signal against
+// it traverses only the candidate — no intermediate float conversion, no
+// re-derivation of reference statistics. Quality results are bit-identical
+// to PSNR and SSIM over ToFloat copies (the accumulation orders match and
+// int64-to-float64 conversion of bounded signals is exact).
+type SignalRef struct {
+	ref    []int64
+	window int
+	peak   float64 // max |ref|, the PSNR peak
+	c1, c2 float64 // SSIM stabilisation constants from the dynamic range
+	wins   []refWindow
+}
+
+// NewSignalRef prepares ref for repeated evaluation; the slice is
+// retained. The validation matches PSNR and SSIM: non-empty, at least one
+// window long, and non-degenerate (nonzero dynamic range implies a
+// nonzero peak for any signal, so the PSNR zero-peak error cannot occur).
+func NewSignalRef(ref []int64, window int) (*SignalRef, error) {
+	if len(ref) == 0 {
+		return nil, fmt.Errorf("metrics: PSNR of empty signals")
+	}
+	if window < 2 {
+		return nil, fmt.Errorf("metrics: SSIM window %d too small", window)
+	}
+	if len(ref) < window {
+		return nil, fmt.Errorf("metrics: SSIM input shorter than window (%d < %d)", len(ref), window)
+	}
+	r := &SignalRef{ref: ref, window: window}
+	lo, hi := float64(ref[0]), float64(ref[0])
+	for _, v := range ref {
+		f := float64(v)
+		if a := math.Abs(f); a > r.peak {
+			r.peak = a
+		}
+		if f < lo {
+			lo = f
+		}
+		if f > hi {
+			hi = f
+		}
+	}
+	l := hi - lo
+	if l == 0 {
+		return nil, fmt.Errorf("metrics: SSIM reference has zero dynamic range")
+	}
+	r.c1 = (0.01 * l) * (0.01 * l)
+	r.c2 = (0.03 * l) * (0.03 * l)
+	for start := 0; start+window <= len(ref); start += window / 2 {
+		var mx float64
+		for i := start; i < start+window; i++ {
+			mx += float64(ref[i])
+		}
+		n := float64(window)
+		mx /= n
+		var vx float64
+		for i := start; i < start+window; i++ {
+			dx := float64(ref[i]) - mx
+			vx += dx * dx
+		}
+		vx /= n - 1
+		r.wins = append(r.wins, refWindow{mx: mx, vx: vx})
+	}
+	return r, nil
+}
+
+// Len returns the reference length.
+func (r *SignalRef) Len() int { return len(r.ref) }
+
+// Quality grades out against the prepared reference and returns the raw
+// PSNR (+Inf for identical signals; clamp with ClampPSNR when
+// aggregating) and the mean SSIM, allocation-free.
+func (r *SignalRef) Quality(out []int64) (psnr, ssim float64, err error) {
+	ref := r.ref
+	if len(out) != len(ref) {
+		return 0, 0, fmt.Errorf("metrics: PSNR length mismatch %d vs %d", len(ref), len(out))
+	}
+	var mse float64
+	for i := range ref {
+		d := float64(ref[i]) - float64(out[i])
+		mse += d * d
+	}
+	mse /= float64(len(ref))
+	switch {
+	case mse == 0:
+		psnr = math.Inf(1)
+	case r.peak == 0:
+		return 0, 0, fmt.Errorf("metrics: PSNR reference is identically zero")
+	default:
+		psnr = 10 * math.Log10(r.peak*r.peak/mse)
+	}
+
+	window := r.window
+	n := float64(window)
+	var total float64
+	for wi, rw := range r.wins {
+		start := wi * (window / 2)
+		var my float64
+		for i := start; i < start+window; i++ {
+			my += float64(out[i])
+		}
+		my /= n
+		var vy, cov float64
+		for i := start; i < start+window; i++ {
+			dx := float64(ref[i]) - rw.mx
+			dy := float64(out[i]) - my
+			vy += dy * dy
+			cov += dx * dy
+		}
+		vy /= n - 1
+		cov /= n - 1
+		total += ((2*rw.mx*my + r.c1) * (2*cov + r.c2)) /
+			((rw.mx*rw.mx + my*my + r.c1) * (rw.vx + vy + r.c2))
+	}
+	return psnr, total / float64(len(r.wins)), nil
+}
+
+// SignalQuality computes PSNR and SSIM of out against ref in one call
+// without materialising float copies of either signal — the fused form of
+// ToFloat + PSNR + SSIM, bit-identical to that sequence. Callers grading
+// many candidates against one reference should build the SignalRef once.
+func SignalQuality(ref, out []int64, window int) (psnr, ssim float64, err error) {
+	r, err := NewSignalRef(ref, window)
+	if err != nil {
+		return 0, 0, err
+	}
+	return r.Quality(out)
+}

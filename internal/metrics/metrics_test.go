@@ -234,3 +234,85 @@ func TestToFloat(t *testing.T) {
 		t.Error("empty conversion")
 	}
 }
+
+// TestSignalQualityMatchesSeparateMetrics checks the fused single-pass
+// path against ToFloat + PSNR + SSIM bit for bit, on random 16-bit-ish
+// signals including the identical-signal (+Inf PSNR) case.
+func TestSignalQualityMatchesSeparateMetrics(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 20; trial++ {
+		n := 200 + rng.Intn(400)
+		ref := make([]int64, n)
+		out := make([]int64, n)
+		for i := range ref {
+			ref[i] = int64(int16(rng.Uint64()))
+			out[i] = ref[i]
+			if trial > 0 { // trial 0 keeps the signals identical
+				out[i] += int64(rng.Intn(64)) - 32
+			}
+		}
+		wantPSNR, err := PSNR(ToFloat(ref), ToFloat(out))
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantSSIM, err := SSIM(ToFloat(ref), ToFloat(out), SSIMWindow)
+		if err != nil {
+			t.Fatal(err)
+		}
+		psnr, ssim, err := SignalQuality(ref, out, SSIMWindow)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if psnr != wantPSNR || ssim != wantSSIM {
+			t.Fatalf("trial %d: SignalQuality = (%v, %v), separate metrics (%v, %v)",
+				trial, psnr, ssim, wantPSNR, wantSSIM)
+		}
+		// The prepared-reference path must grade repeated candidates
+		// identically and without allocations.
+		r, err := NewSignalRef(ref, SSIMWindow)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p2, s2, err := r.Quality(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p2 != wantPSNR || s2 != wantSSIM {
+			t.Fatalf("trial %d: SignalRef.Quality = (%v, %v), want (%v, %v)", trial, p2, s2, wantPSNR, wantSSIM)
+		}
+		if avg := testing.AllocsPerRun(10, func() { r.Quality(out) }); avg != 0 {
+			t.Fatalf("SignalRef.Quality allocates %.2f times per call, want 0", avg)
+		}
+	}
+}
+
+// TestSignalQualityErrors mirrors the separate metrics' validation.
+func TestSignalQualityErrors(t *testing.T) {
+	if _, _, err := SignalQuality(nil, nil, SSIMWindow); err == nil {
+		t.Error("empty reference accepted")
+	}
+	if _, _, err := SignalQuality(make([]int64, 10), make([]int64, 10), SSIMWindow); err == nil {
+		t.Error("reference shorter than window accepted")
+	}
+	flat := make([]int64, 128)
+	if _, _, err := SignalQuality(flat, flat, SSIMWindow); err == nil {
+		t.Error("zero-dynamic-range reference accepted")
+	}
+	ref := make([]int64, 128)
+	ref[0] = 1
+	if _, _, err := SignalQuality(ref, make([]int64, 100), SSIMWindow); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+// TestClampPSNR pins the clamp constant and its pass-through behaviour.
+func TestClampPSNR(t *testing.T) {
+	if got := ClampPSNR(math.Inf(1)); got != PSNRClamp {
+		t.Errorf("ClampPSNR(+Inf) = %v, want %v", got, PSNRClamp)
+	}
+	for _, v := range []float64{0, 15, -3, PSNRClamp + 50} {
+		if got := ClampPSNR(v); got != v {
+			t.Errorf("ClampPSNR(%v) = %v, want unchanged", v, got)
+		}
+	}
+}

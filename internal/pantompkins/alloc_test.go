@@ -61,3 +61,53 @@ func TestPushZeroAllocs(t *testing.T) {
 		})
 	}
 }
+
+// TestPeakDetectorMatchesDetect reuses one PeakDetector across records of
+// different configurations and lengths and demands detections identical to
+// the allocating package-level Detect, then checks the warm detector runs
+// allocation-free.
+func TestPeakDetectorMatchesDetect(t *testing.T) {
+	recA := testRecord(t, 2500)
+	recB, err := ecg.NSRDBRecord(1, 1800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pd PeakDetector
+	for name, cfg := range streamConfigs(t) {
+		p, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, rec := range []*ecg.Record{recA, recB, recA} {
+			out := p.Run(rec.Samples)
+			want := Detect(out.Filtered, out.Integrated, rec.FS)
+			got := pd.Detect(out.Filtered, out.Integrated, rec.FS)
+			if len(got.Peaks) != len(want.Peaks) || len(got.MWIPeaks) != len(want.MWIPeaks) || len(got.Events) != len(want.Events) {
+				t.Fatalf("%s: reused detector found %d/%d/%d peaks/MWI/events, Detect %d/%d/%d",
+					name, len(got.Peaks), len(got.MWIPeaks), len(got.Events),
+					len(want.Peaks), len(want.MWIPeaks), len(want.Events))
+			}
+			for i := range want.Peaks {
+				if got.Peaks[i] != want.Peaks[i] || got.MWIPeaks[i] != want.MWIPeaks[i] {
+					t.Fatalf("%s: peak %d = (%d,%d), Detect (%d,%d)", name, i,
+						got.Peaks[i], got.MWIPeaks[i], want.Peaks[i], want.MWIPeaks[i])
+				}
+			}
+			for i := range want.Events {
+				if got.Events[i] != want.Events[i] {
+					t.Fatalf("%s: event %d = %+v, Detect %+v", name, i, got.Events[i], want.Events[i])
+				}
+			}
+		}
+	}
+	// Warm detector: zero allocations per record.
+	p, err := New(AccurateConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := p.Run(recA.Samples)
+	pd.Detect(out.Filtered, out.Integrated, recA.FS)
+	if avg := testing.AllocsPerRun(20, func() { pd.Detect(out.Filtered, out.Integrated, recA.FS) }); avg != 0 {
+		t.Fatalf("warm PeakDetector.Detect allocates %.2f times per record, want 0", avg)
+	}
+}

@@ -83,8 +83,43 @@ const filterDelay = 5 + 16
 // paper's alignment cross-check: a candidate whose filtered peak misaligns
 // with its MWI peak by more than the preset window is omitted as a
 // classification error (Fig 13).
+//
+// Detect allocates a fresh Detection per call; batch callers grading many
+// records (the evaluation loop) should reuse a PeakDetector.
 func Detect(filtered, integrated []int64, fs int) Detection {
-	det := Detection{}
+	var pd PeakDetector
+	return *pd.Detect(filtered, integrated, fs)
+}
+
+// detCand is a pending searchback candidate.
+type detCand struct {
+	idx  int
+	val  int64
+	fpos int
+	fval float64
+}
+
+// PeakDetector runs the same detection as Detect with every working
+// buffer (peaks, events, the RR window, pending searchback candidates)
+// reused across calls, so a warm detector grades a record without
+// allocating. The returned Detection aliases the detector's buffers and
+// is valid until the next Detect call; results are bit-identical to the
+// package-level Detect.
+type PeakDetector struct {
+	det     Detection
+	pending []detCand
+	rr      [8]int // ring of the last RR intervals
+	rrLen   int
+	rrPos   int
+}
+
+// Detect grades one record; see Detect for the algorithm.
+func (pd *PeakDetector) Detect(filtered, integrated []int64, fs int) *Detection {
+	det := &pd.det
+	det.Peaks = det.Peaks[:0]
+	det.MWIPeaks = det.MWIPeaks[:0]
+	det.Events = det.Events[:0]
+	pd.rrLen, pd.rrPos = 0, 0
 	n := len(integrated)
 	if n == 0 || len(filtered) != n || fs <= 0 {
 		return det
@@ -125,32 +160,27 @@ func Detect(filtered, integrated []int64, fs int) Detection {
 
 	lastQRS := -refractory - 1 // MWI index of the last accepted QRS
 	lastSlope := 0.0
-	var rr []int
 	rrMean := float64(fs) * 0.8 // prior: 75 bpm until measured
 
 	// Pending candidates for searchback (rejected since the last QRS).
-	type cand struct {
-		idx  int
-		val  int64
-		fpos int
-		fval float64
-	}
-	var pending []cand
+	pending := pd.pending[:0]
 
-	accept := func(c cand, weight float64, kind EventKind) {
+	accept := func(c detCand, weight float64, kind EventKind) {
 		spki = weight*float64(c.val) + (1-weight)*spki
 		spkf = weight*c.fval + (1-weight)*spkf
 		if lastQRS >= 0 {
-			rrNew := c.idx - lastQRS
-			rr = append(rr, rrNew)
-			if len(rr) > 8 {
-				rr = rr[1:]
+			// Ring of the last 8 RR intervals (same window as the sliced
+			// append of the original formulation, without reallocation).
+			pd.rr[pd.rrPos] = c.idx - lastQRS
+			pd.rrPos = (pd.rrPos + 1) % len(pd.rr)
+			if pd.rrLen < len(pd.rr) {
+				pd.rrLen++
 			}
 			total := 0
-			for _, v := range rr {
+			for _, v := range pd.rr[:pd.rrLen] {
 				total += v
 			}
-			rrMean = float64(total) / float64(len(rr))
+			rrMean = float64(total) / float64(pd.rrLen)
 		}
 		lastQRS = c.idx
 		lastSlope = slopeBefore(integrated, c.idx, fs)
@@ -193,10 +223,10 @@ func Detect(filtered, integrated []int64, fs int) Detection {
 			// artefact and the beat is omitted.
 			if fpos > i || i-fpos >= searchWin {
 				det.Events = append(det.Events, Event{Kind: EventMisaligned, Index: i, Filtered: fpos, Value: v})
-				pending = append(pending, cand{i, v, fpos, fval})
+				pending = append(pending, detCand{i, v, fpos, fval})
 				continue
 			}
-			accept(cand{i, v, fpos, fval}, 0.125, EventAccepted)
+			accept(detCand{i, v, fpos, fval}, 0.125, EventAccepted)
 			continue
 		}
 
@@ -204,7 +234,7 @@ func Detect(filtered, integrated []int64, fs int) Detection {
 		npki = 0.125*float64(v) + 0.875*npki
 		npkf = 0.125*fval + 0.875*npkf
 		det.Events = append(det.Events, Event{Kind: EventNoise, Index: i, Filtered: fpos, Value: v})
-		pending = append(pending, cand{i, v, fpos, fval})
+		pending = append(pending, detCand{i, v, fpos, fval})
 
 		// Searchback for a missed beat.
 		if lastQRS >= 0 && float64(i-lastQRS) > searchbackRR*rrMean {
@@ -221,6 +251,7 @@ func Detect(filtered, integrated []int64, fs int) Detection {
 			}
 		}
 	}
+	pd.pending = pending[:0] // keep the grown capacity for the next record
 	return det
 }
 

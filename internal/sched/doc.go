@@ -4,31 +4,46 @@
 //
 // Evaluating one candidate design means simulating the full Pan-Tompkins
 // pipeline over every evaluation record — by far the dominant cost of
-// XBioSiP's methodology (the paper budgets 300 s per evaluation, §6.1),
-// and embarrassingly parallel across candidates. Evaluator fans those
-// evaluations out over a fixed worker pool and memoizes every result:
+// XBioSiP's methodology (the paper budgets 300 s per evaluation, §6.1).
+// The work is parallel along two axes, and Evaluator schedules both as a
+// two-level (design x record-shard) hierarchy over one fixed worker pool:
 //
-//   - The pool holds Workers goroutines (default runtime.GOMAXPROCS(0)).
-//     Evaluate computes misses inline in the caller; EvaluateBatch
-//     schedules misses onto the pool and returns results in input order.
+//   - Level 1 — designs. EvaluateBatch fans candidate configurations out
+//     across the pool (Evaluate computes single misses inline in the
+//     caller). This is the axis the explorer's speculative candidate
+//     chunks ride on.
 //
-//   - The cache is keyed by Canonical(cfg): a stage with zero approximated
-//     LSBs clears its elementary adder/multiplier kinds, because the
-//     arithmetic models are exact at k=0 whatever the kinds, so all
-//     spellings of "accurate stage" share one entry. Algorithm 1's three
-//     phases and the exhaustive/heuristic baselines revisit many of the
-//     same design points; through the cache each distinct design is
-//     simulated exactly once per record set.
+//   - Level 2 — record shards. An engine built with NewSharded splits one
+//     cache-missing design into contiguous per-record (or per-record-
+//     range) sub-jobs over the same pool and folds the per-record
+//     partials, always in record order, into the cached value. Sub-jobs
+//     dispatch by work-stealing: an idle worker takes a shard when one is
+//     ready, otherwise the submitting goroutine runs it inline — so a
+//     design job that shards from inside the pool can never deadlock, a
+//     single expensive design saturates the machine (the Fig 9 tool-flow
+//     evaluates every candidate over a full record set), and design- and
+//     record-level work interleave freely.
 //
-//   - Results are deterministic regardless of worker count: each design's
-//     value is computed by a single in-flight call (concurrent requests
-//     wait on it), batches preserve input order, and on failure the error
-//     of the lowest-index failing configuration wins.
+// Results are memoized per canonical configuration: Canonical clears the
+// elementary adder/multiplier kinds of stages with zero approximated LSBs
+// (the arithmetic is exact at k=0 whatever the kinds), so every spelling
+// of "accurate stage" shares one cache entry, and any design revisited —
+// by Algorithm 1's phases, the exhaustive and heuristic baselines, or
+// repeated experiments over one record set — is simulated exactly once.
 //
-// Choosing a worker count: evaluations are CPU-bound bit-true simulation,
-// so the default of GOMAXPROCS saturates the machine; use 1 to reproduce
-// strictly sequential seed behaviour (useful for debugging), and there is
-// no benefit above GOMAXPROCS. The evaluation function must be
-// deterministic and safe for concurrent use, and must not call back into
-// the same pool (nested batches can exhaust the workers and deadlock).
+// Determinism holds at both levels regardless of worker count and shard
+// split: each design's value is computed by a single in-flight call
+// (concurrent requests wait on it), batches preserve input order with the
+// lowest-index error winning, and sharded reductions always see the full
+// record-ordered partial slice, with within-shard items run in order and
+// the lowest-index item error winning.
+//
+// Choosing parallelism: evaluations are CPU-bound bit-true simulation, so
+// the default of GOMAXPROCS workers saturates the machine and more does
+// not help; workers=1 reproduces the strictly sequential seed behaviour.
+// Shards default to one per record — with few records per evaluation the
+// per-shard work is large and the dispatch overhead is noise. Evaluation
+// functions must be deterministic and safe for concurrent use, and must
+// not block waiting on the same pool (sharding uses non-blocking dispatch
+// for exactly that reason).
 package sched

@@ -14,6 +14,48 @@ import (
 // result per canonical configuration.
 type Func[V any] func(cfg pantompkins.Config) (V, error)
 
+// ItemFunc computes the partial result of one work item — one evaluation
+// record — for one configuration (the second scheduling level of a
+// sharded engine). Like Func it must be deterministic and safe for
+// concurrent use.
+type ItemFunc[P any] func(cfg pantompkins.Config, item int) (P, error)
+
+// ReduceFunc folds the per-item partials of one configuration into the
+// cached value. The engine always presents parts in item order, whatever
+// the worker count or shard split, so a deterministic reduction gives
+// bit-identical results for every parallelism setting.
+type ReduceFunc[V, P any] func(cfg pantompkins.Config, parts []P) (V, error)
+
+// Range is a half-open interval of work-item indices forming one shard.
+type Range struct{ Lo, Hi int }
+
+// Split partitions n work items into at most k contiguous ranges of
+// near-equal size (the leading ranges take the remainder). k <= 1 or
+// n <= 1 yields a single range; k > n yields n unit ranges.
+func Split(n, k int) []Range {
+	if n <= 0 {
+		return nil
+	}
+	if k > n {
+		k = n
+	}
+	if k < 1 {
+		k = 1
+	}
+	ranges := make([]Range, 0, k)
+	size, rem := n/k, n%k
+	lo := 0
+	for i := 0; i < k; i++ {
+		hi := lo + size
+		if i < rem {
+			hi++
+		}
+		ranges = append(ranges, Range{Lo: lo, Hi: hi})
+		lo = hi
+	}
+	return ranges
+}
+
 // Stats is a snapshot of an evaluator's cache accounting.
 type Stats struct {
 	// Hits counts requests answered from the cache (including requests
@@ -80,6 +122,89 @@ func New[V any](workers int, fn Func[V]) *Evaluator[V] {
 		jobs:    make(chan func()),
 		cache:   make(map[pantompkins.Config]*entry[V]),
 	}
+}
+
+// NewSharded builds a two-level engine: configurations are cached and
+// fanned out exactly like New's, but a cache-missing design additionally
+// splits into shards sub-jobs over items work items (evaluation records).
+// Each shard computes item(cfg, i) for its contiguous item range; once
+// every shard of the design finishes, reduce folds the partials — always
+// in item order — into the cached value. Shard sub-jobs run on the same
+// worker pool as whole-design jobs via work-stealing dispatch: a shard is
+// handed to an idle worker when one is ready and executed inline by the
+// submitting goroutine otherwise, so design-level and record-level
+// parallelism share the pool without deadlock and a single design
+// evaluation can saturate every worker.
+//
+// Determinism: parts[i] is written by exactly one shard and reduce sees
+// the full item-ordered slice, so the value cached for a design is
+// bit-identical for every (workers, shards) combination provided item and
+// reduce are deterministic. Error handling matches the sequential loop:
+// within a shard, items run in order and stop at the first failure; the
+// error of the lowest-index failing item wins across shards.
+//
+// shards <= 0 selects one shard per item; shards == 1 disables the second
+// level (one sub-job computes every item inline).
+func NewSharded[V, P any](workers, items, shards int, item ItemFunc[P], reduce ReduceFunc[V, P]) *Evaluator[V] {
+	e := New[V](workers, nil)
+	if shards <= 0 {
+		shards = items
+	}
+	ranges := Split(items, shards)
+	e.fn = func(cfg pantompkins.Config) (V, error) {
+		parts := make([]P, items)
+		errs := make([]error, len(ranges))
+		e.scatter(len(ranges), func(s int) {
+			r := ranges[s]
+			for i := r.Lo; i < r.Hi; i++ {
+				p, err := item(cfg, i)
+				if err != nil {
+					errs[s] = err
+					return
+				}
+				parts[i] = p
+			}
+		})
+		for _, err := range errs {
+			if err != nil {
+				var zero V
+				return zero, err
+			}
+		}
+		return reduce(cfg, parts)
+	}
+	return e
+}
+
+// scatter runs n indexed tasks, handing them to idle pool workers without
+// ever blocking on submission: when every worker is busy the submitting
+// goroutine executes the task inline. Inline execution guarantees
+// progress, so jobs that scatter from inside the pool (a design job
+// splitting into record shards) cannot deadlock, and an idle pool still
+// absorbs the fan-out.
+func (e *Evaluator[V]) scatter(n int, task func(int)) {
+	if n <= 1 || e.workers <= 1 {
+		for i := 0; i < n; i++ {
+			task(i)
+		}
+		return
+	}
+	jobs := e.pool()
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		job := func() {
+			task(i)
+			wg.Done()
+		}
+		select {
+		case jobs <- job:
+		default:
+			job()
+		}
+	}
+	wg.Wait()
 }
 
 // pool returns the job channel, starting the workers on first use.

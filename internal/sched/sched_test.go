@@ -235,3 +235,152 @@ func TestErrorsDoNotDeadlockSmallPool(t *testing.T) {
 		t.Fatal("expected cached error")
 	}
 }
+
+func TestSplit(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want []Range
+	}{
+		{0, 4, nil},
+		{1, 1, []Range{{0, 1}}},
+		{5, 1, []Range{{0, 5}}},
+		{5, 0, []Range{{0, 5}}},
+		{4, 2, []Range{{0, 2}, {2, 4}}},
+		{5, 2, []Range{{0, 3}, {3, 5}}},
+		{3, 8, []Range{{0, 1}, {1, 2}, {2, 3}}},
+	}
+	for _, c := range cases {
+		got := Split(c.n, c.k)
+		if len(got) != len(c.want) {
+			t.Fatalf("Split(%d,%d) = %v, want %v", c.n, c.k, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("Split(%d,%d) = %v, want %v", c.n, c.k, got, c.want)
+			}
+		}
+	}
+}
+
+// shardQuality is the per-record stand-in of the sharded tests: a partial
+// that identifies (config, record) so the reduction can verify coverage
+// and ordering.
+func shardQuality(cfg pantompkins.Config, item int) (float64, error) {
+	q, _ := quality(cfg)
+	return q + float64(item)/1024, nil
+}
+
+// TestShardedDeterminism runs a mixed workload through every combination
+// of worker count and shard split (including concurrent batch callers) and
+// demands bit-identical reductions, with every item seen exactly once and
+// in order.
+func TestShardedDeterminism(t *testing.T) {
+	const items = 7
+	reduce := func(cfg pantompkins.Config, parts []float64) (float64, error) {
+		if len(parts) != items {
+			return 0, fmt.Errorf("reduce saw %d parts, want %d", len(parts), items)
+		}
+		total := 0.0
+		for i, p := range parts {
+			want, _ := shardQuality(cfg, i)
+			if p != want {
+				return 0, fmt.Errorf("parts[%d] = %v, want %v (out of order?)", i, p, want)
+			}
+			total += p
+		}
+		return total, nil
+	}
+	workload := func() []pantompkins.Config {
+		var cfgs []pantompkins.Config
+		for k := 16; k >= 0; k -= 2 {
+			cfgs = append(cfgs, cfgK([pantompkins.NumStages]int{k, k / 2, 0, 0, k}))
+		}
+		return cfgs
+	}
+	var ref []float64
+	for _, workers := range []int{1, 2, 8} {
+		for _, shards := range []int{1, 2, 0} { // 0 = one shard per item
+			e := NewSharded[float64, float64](workers, items, shards, shardQuality, reduce)
+			var wg sync.WaitGroup
+			results := make([][]float64, 3)
+			errs := make([]error, 3)
+			for g := range results {
+				g := g
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					results[g], errs[g] = e.EvaluateBatch(workload())
+				}()
+			}
+			wg.Wait()
+			e.Close()
+			for _, err := range errs {
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			if ref == nil {
+				ref = results[0]
+			}
+			for g := range results {
+				for i := range ref {
+					if results[g][i] != ref[i] {
+						t.Fatalf("workers=%d shards=%d caller %d: result[%d] = %v, want %v",
+							workers, shards, g, i, results[g][i], ref[i])
+					}
+				}
+			}
+			if st := e.Stats(); st.Misses != int64(len(ref)) {
+				t.Fatalf("workers=%d shards=%d: %d misses for %d distinct designs", workers, shards, st.Misses, len(ref))
+			}
+		}
+	}
+}
+
+// TestShardedErrorIsLowestItem checks that the lowest-index failing item's
+// error wins for any shard split, like the batch contract.
+func TestShardedErrorIsLowestItem(t *testing.T) {
+	const items = 6
+	item := func(cfg pantompkins.Config, i int) (float64, error) {
+		if i >= 2 {
+			return 0, fmt.Errorf("item %d broken", i)
+		}
+		return float64(i), nil
+	}
+	reduce := func(cfg pantompkins.Config, parts []float64) (float64, error) {
+		t.Fatal("reduce called despite item errors")
+		return 0, nil
+	}
+	for _, shards := range []int{1, 2, 3, 0} {
+		e := NewSharded[float64, float64](4, items, shards, item, reduce)
+		_, err := e.Evaluate(pantompkins.AccurateConfig())
+		e.Close()
+		if err == nil || err.Error() != "item 2 broken" {
+			t.Fatalf("shards=%d: error %v, want the lowest-index item failure", shards, err)
+		}
+	}
+}
+
+// TestScatterFromInsidePool floods a sharded engine through EvaluateBatch
+// so design jobs occupying every worker must scatter their shards with the
+// pool busy; the non-blocking dispatch must complete inline rather than
+// deadlock.
+func TestScatterFromInsidePool(t *testing.T) {
+	const items = 5
+	reduce := func(cfg pantompkins.Config, parts []float64) (float64, error) {
+		total := 0.0
+		for _, p := range parts {
+			total += p
+		}
+		return total, nil
+	}
+	e := NewSharded[float64, float64](2, items, 0, shardQuality, reduce)
+	defer e.Close()
+	var cfgs []pantompkins.Config
+	for k := 0; k <= 16; k += 2 {
+		cfgs = append(cfgs, cfgK([pantompkins.NumStages]int{k, 0, 0, 0, 0}))
+	}
+	if _, err := e.EvaluateBatch(cfgs); err != nil {
+		t.Fatal(err)
+	}
+}
