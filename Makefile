@@ -9,11 +9,11 @@ GO ?= go
 # Benchmarks captured by `make bench-json` into BENCH_N.json snapshots.
 BENCH_JSON_PATTERN = KernelVsReference|PipelinePush|DSEWorkers|EvaluatorShards|Fig11ExplorationTime|Table2PreprocessingGrid
 # Current snapshot file; bump per PR so the trajectory stays diffable.
-BENCH_SNAPSHOT = BENCH_3.json
+BENCH_SNAPSHOT = BENCH_4.json
 # Previous snapshot `make bench-diff` gates against.
-BENCH_BASELINE = BENCH_2.json
+BENCH_BASELINE = BENCH_3.json
 
-.PHONY: all build vet test race test-reference bench bench-reference bench-json bench-diff bench-diff-smoke ci
+.PHONY: all build vet test race race-arith test-reference bench bench-reference bench-json bench-diff bench-diff-smoke ci
 
 all: build
 
@@ -28,6 +28,13 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Focused -race pass over the arithmetic packages: the kernel's global
+# plan/table cache is hammered by concurrent cold builds (first-insert-wins
+# asserted), cheap enough to run on every CI pass in addition to the full
+# `race` sweep above.
+race-arith:
+	$(GO) test -race -count=1 ./internal/arith/...
 
 # The kernel equivalence tests and the packages threaded through the
 # compiled kernels, re-run with XBIOSIP_NO_KERNELS so every plan delegates
@@ -55,15 +62,16 @@ bench-json:
 	rm -f bench.out.tmp
 
 # Compare the current snapshot against the previous one and fail on >15%
-# ns/op regression of any tracked benchmark. Snapshots are only comparable
-# when taken on the same machine — run `make bench-json` against both
-# revisions locally before trusting a failure.
+# regression of any tracked benchmark's ns/op, bytes/op or allocs/op.
+# Snapshots are only comparable when taken on the same machine — run
+# `make bench-json` against both revisions locally before trusting a
+# failure.
 bench-diff:
-	$(GO) run ./cmd/benchdiff -threshold 0.15 $(BENCH_BASELINE) $(BENCH_SNAPSHOT)
+	$(GO) run ./cmd/benchdiff -threshold 0.15 -bytes-threshold 0.15 -allocs-threshold 0.15 $(BENCH_BASELINE) $(BENCH_SNAPSHOT)
 
 # CI smoke: self-compare the checked-in snapshot so the tool's parsing,
 # matching and gating run on every CI pass without cross-machine noise.
 bench-diff-smoke:
-	$(GO) run ./cmd/benchdiff -threshold 0.15 $(BENCH_SNAPSHOT) $(BENCH_SNAPSHOT) > /dev/null
+	$(GO) run ./cmd/benchdiff -threshold 0.15 -bytes-threshold 0.15 -allocs-threshold 0.15 $(BENCH_SNAPSHOT) $(BENCH_SNAPSHOT) > /dev/null
 
-ci: build vet race test-reference bench bench-reference bench-diff-smoke
+ci: build vet race race-arith test-reference bench bench-reference bench-diff-smoke

@@ -2,13 +2,18 @@
 // cmd/benchjson (the checked-in BENCH_N.json files) and fails when any
 // benchmark regressed beyond a threshold:
 //
-//	go run ./cmd/benchdiff [-threshold 0.15] [-match regex] old.json new.json
+//	go run ./cmd/benchdiff [-threshold 0.15] [-bytes-threshold 0.15]
+//	    [-allocs-threshold 0.15] [-match regex] old.json new.json
 //
 // Every benchmark present in both snapshots (and matching -match, if
-// given) is compared by ns/op; a regression larger than the threshold
-// fraction exits 1 with the offenders listed, so `make bench-diff` can
-// gate a change against the previous snapshot. Benchmarks present in only
-// one snapshot are reported but never fail the run (suites grow).
+// given) is compared by ns/op, bytes/op and allocs/op; a regression
+// larger than the corresponding threshold fraction exits 1 with the
+// offenders listed, so `make bench-diff` can gate a change against the
+// previous snapshot. The memory metrics are gated only when both
+// snapshots recorded them, and small absolute drifts (64 B, 2 allocs) are
+// ignored so near-zero baselines cannot trip the relative gate.
+// Benchmarks present in only one snapshot are reported but never fail the
+// run (suites grow).
 package main
 
 import (
@@ -27,6 +32,13 @@ type result struct {
 	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
 }
 
+// Minimum absolute growth before the relative memory gates apply: a
+// benchmark going from 8 to 16 bytes/op is noise, not a regression.
+const (
+	minBytesDelta  = 64
+	minAllocsDelta = 2
+)
+
 func load(path string) (map[string]result, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -42,12 +54,25 @@ func load(path string) (map[string]result, error) {
 	return m, nil
 }
 
+// regress reports the relative growth of new over old and whether it
+// breaches the threshold, requiring the absolute growth to exceed
+// minDelta (0 disables the floor).
+func regress(old, new, threshold, minDelta float64) (float64, bool) {
+	if old <= 0 {
+		return 0, false
+	}
+	delta := (new - old) / old
+	return delta, delta > threshold && new-old > minDelta
+}
+
 func main() {
 	threshold := flag.Float64("threshold", 0.15, "maximum tolerated ns/op regression as a fraction (0.15 = +15%)")
+	bytesThreshold := flag.Float64("bytes-threshold", 0.15, "maximum tolerated bytes/op regression as a fraction")
+	allocsThreshold := flag.Float64("allocs-threshold", 0.15, "maximum tolerated allocs/op regression as a fraction")
 	match := flag.String("match", "", "only compare benchmarks whose name matches this regexp (default: all)")
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold f] [-match regex] old.json new.json")
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold f] [-bytes-threshold f] [-allocs-threshold f] [-match regex] old.json new.json")
 		os.Exit(2)
 	}
 	fail := func(err error) {
@@ -79,7 +104,8 @@ func main() {
 
 	var regressions []string
 	compared := 0
-	fmt.Printf("benchdiff %s -> %s (threshold +%.0f%%)\n", oldPath, newPath, 100**threshold)
+	fmt.Printf("benchdiff %s -> %s (thresholds ns +%.0f%%, bytes +%.0f%%, allocs +%.0f%%)\n",
+		oldPath, newPath, 100**threshold, 100**bytesThreshold, 100**allocsThreshold)
 	for _, name := range names {
 		if !re.MatchString(name) {
 			continue
@@ -91,11 +117,23 @@ func main() {
 			continue
 		}
 		compared++
-		delta := (n.NsPerOp - o.NsPerOp) / o.NsPerOp
+		delta, bad := regress(o.NsPerOp, n.NsPerOp, *threshold, 0)
 		mark := " "
-		if delta > *threshold {
+		if bad {
 			mark = "!"
 			regressions = append(regressions, fmt.Sprintf("%s: %.4g -> %.4g ns/op (%+.1f%%)", name, o.NsPerOp, n.NsPerOp, 100*delta))
+		}
+		if o.BytesPerOp != nil && n.BytesPerOp != nil {
+			if bd, bbad := regress(*o.BytesPerOp, *n.BytesPerOp, *bytesThreshold, minBytesDelta); bbad {
+				mark = "!"
+				regressions = append(regressions, fmt.Sprintf("%s: %.4g -> %.4g bytes/op (%+.1f%%)", name, *o.BytesPerOp, *n.BytesPerOp, 100*bd))
+			}
+		}
+		if o.AllocsPerOp != nil && n.AllocsPerOp != nil {
+			if ad, abad := regress(*o.AllocsPerOp, *n.AllocsPerOp, *allocsThreshold, minAllocsDelta); abad {
+				mark = "!"
+				regressions = append(regressions, fmt.Sprintf("%s: %.4g -> %.4g allocs/op (%+.1f%%)", name, *o.AllocsPerOp, *n.AllocsPerOp, 100*ad))
+			}
 		}
 		fmt.Printf("%s %-55s %12.4g %12.4g ns/op %+7.1f%%\n", mark, name, o.NsPerOp, n.NsPerOp, 100*delta)
 	}
@@ -110,11 +148,11 @@ func main() {
 		fail(fmt.Errorf("no benchmarks in common between %s and %s (match %q)", oldPath, newPath, *match))
 	}
 	if len(regressions) > 0 {
-		fmt.Fprintf(os.Stderr, "benchdiff: %d benchmark(s) regressed beyond +%.0f%%:\n", len(regressions), 100**threshold)
+		fmt.Fprintf(os.Stderr, "benchdiff: %d metric(s) regressed beyond their threshold:\n", len(regressions))
 		for _, r := range regressions {
 			fmt.Fprintln(os.Stderr, "  "+r)
 		}
 		os.Exit(1)
 	}
-	fmt.Printf("%d benchmarks compared, none regressed beyond +%.0f%%\n", compared, 100**threshold)
+	fmt.Printf("%d benchmarks compared, none regressed beyond the thresholds\n", compared)
 }

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"os"
 
+	"github.com/xbiosip/xbiosip/internal/arith/kernel"
 	"github.com/xbiosip/xbiosip/internal/core"
 	"github.com/xbiosip/xbiosip/internal/dsp"
 	"github.com/xbiosip/xbiosip/internal/experiments"
@@ -34,16 +35,41 @@ func main() {
 	accuracy := flag.Float64("accuracy", 1.0, "final peak-detection-accuracy constraint [0,1]")
 	workers := flag.Int("workers", 0, "design-evaluation workers (0 = all CPUs, 1 = sequential; results are identical)")
 	shards := flag.Int("shards", 0, "record shards per design evaluation (0 = one per record, 1 = sequential records; results are identical)")
+	verbose := flag.Bool("v", false, "report kernel working-set statistics (per-design table footprint, global table cache)")
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() != 1 {
 		usage()
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *records, *samples, *psnr, *accuracy, *workers, *shards); err != nil {
+	if err := run(flag.Arg(0), *records, *samples, *psnr, *accuracy, *workers, *shards, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "xbiosip:", err)
 		os.Exit(1)
 	}
+	if *verbose {
+		printKernelStats()
+	}
+}
+
+// printKernelStats reports the simulator's kernel working set: the live
+// plan/table cache, tiered the way future PRs should track it (like
+// ns/op, but bytes).
+func printKernelStats() {
+	st := kernel.CacheStats()
+	fmt.Printf("kernel cache: %d adder plans, %d multiplier plans, %d const-mul tables, %d square tables, %d chain projections\n",
+		st.Adders, st.Multipliers, st.ConstTables, st.SquareTables, st.ChainProjs)
+	fmt.Printf("kernel tables: %.1f KiB live (%.1f KiB sub-product, %.1f KiB full, %.1f KiB chain projections)\n",
+		float64(st.TableBytes)/1024, float64(st.SubProductBytes)/1024,
+		float64(st.FullTableBytes)/1024, float64(st.ChainProjBytes)/1024)
+}
+
+// designFootprint prints one design's live kernel table bytes.
+func designFootprint(label string, cfg pantompkins.Config) {
+	p, err := pantompkins.New(cfg)
+	if err != nil {
+		return
+	}
+	fmt.Printf("  kernel tables (%s): %.1f KiB for %v\n", label, float64(p.KernelTableBytes())/1024, cfg)
 }
 
 func usage() {
@@ -71,7 +97,7 @@ flags:
 	flag.PrintDefaults()
 }
 
-func run(what string, records, samples int, psnr, accuracy float64, workers, shards int) error {
+func run(what string, records, samples int, psnr, accuracy float64, workers, shards int, verbose bool) error {
 	// Experiments that need no evaluation environment.
 	switch what {
 	case "table1":
@@ -176,7 +202,7 @@ func run(what string, records, samples int, psnr, accuracy float64, workers, sha
 		fmt.Print(experiments.FormatStreaming(s.Config(b9.LSBs), rows), "\n")
 	}
 	if all || what == "dse" {
-		return runMethodology(s, psnr, accuracy)
+		return runMethodology(s, psnr, accuracy, verbose)
 	}
 	switch what {
 	case "all", "fig2", "fig8", "fig10", "table2", "fig11", "fig12", "fig13", "ablation", "noise", "stream", "dse":
@@ -185,7 +211,7 @@ func run(what string, records, samples int, psnr, accuracy float64, workers, sha
 	return fmt.Errorf("unknown experiment %q (run without arguments for usage)", what)
 }
 
-func runMethodology(s *experiments.Setup, psnr, accuracy float64) error {
+func runMethodology(s *experiments.Setup, psnr, accuracy float64, verbose bool) error {
 	m := core.NewMethodology(s.Eval, s.Energy)
 	m.SignalConstraint = psnr
 	m.FinalConstraint = accuracy
@@ -203,6 +229,11 @@ func runMethodology(s *experiments.Setup, psnr, accuracy float64) error {
 	st := s.Eval.CacheStats()
 	fmt.Printf("  evaluation engine: %d workers, %d pipeline simulations, %d cache hits\n",
 		m.Workers, st.Misses, st.Hits)
+	if verbose {
+		designFootprint("accurate", pantompkins.AccurateConfig())
+		designFootprint("pre-processing unit", d.PreConfig)
+		designFootprint("final design", d.Config)
+	}
 	return nil
 }
 

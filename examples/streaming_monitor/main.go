@@ -1,9 +1,11 @@
 // Streaming monitor: the near-sensor deployment mode. Samples arrive one
-// at a time — there is no pre-loaded array on a wearable — so the
-// pipeline is driven through its streaming API (Pipeline.Push), record by
-// record with a Reset in between, the way a monitoring service consumes
-// the streams of many patients in turn. The streamed stage outputs are
-// bit-identical to batch processing, which this example verifies live.
+// at a time — there is no pre-loaded array on a wearable — so the whole
+// algorithm runs through the streaming API: Pipeline.Stream couples the
+// five processing stages with the incremental StreamDetector, whose
+// adaptive thresholds, RR statistics and searchback advance in O(1) per
+// pushed sample. Nothing buffers the record and nothing rescans it, yet
+// the detected beats are bit-identical to batch processing plus the
+// whole-record detector — which this example verifies live.
 package main
 
 import (
@@ -30,19 +32,25 @@ func main() {
 	}
 
 	// Three patients stream 30 s each through ONE pipeline instance —
-	// Reset isolates the records.
+	// Stream resets the stages and the detector between records.
 	for patient := 0; patient < 3; patient++ {
 		rec, err := ecg.NSRDBRecord(patient, 6000)
 		if err != nil {
 			log.Fatal(err)
 		}
-		pipe.Reset()
-		out := &pantompkins.Outputs{}
-		for _, x := range rec.Samples {
-			// One ADC sample in, one sample of every stage signal out.
-			out.Append(pipe.Push(x))
+		stream := pipe.Stream(rec.FS)
+		beatsAt := make([]int, 0, 64) // sample index when each beat surfaced
+		for i, x := range rec.Samples {
+			// One ADC sample in; stage outputs and beat decisions advance
+			// together, with the detector's bounded ~50 ms lookahead.
+			stream.Push(x)
+			if live := stream.Detector().Detection(); len(live.Peaks) > len(beatsAt) {
+				for range live.Peaks[len(beatsAt):] {
+					beatsAt = append(beatsAt, i)
+				}
+			}
 		}
-		det := pantompkins.Detect(out.Filtered, out.Integrated, rec.FS)
+		det := stream.Finish()
 
 		fmt.Printf("%s: %.0f s streamed, %d beats (reference %d)\n",
 			rec.Name, rec.DurationSec(), len(det.Peaks), len(rec.Annotations))
@@ -68,14 +76,29 @@ func main() {
 			}
 		}
 		fmt.Println("bpm (10 s windows)")
+		if len(beatsAt) > 0 {
+			lag := 0
+			for i, at := range beatsAt {
+				if d := at - det.MWIPeaks[i]; d > lag {
+					lag = d
+				}
+			}
+			fmt.Printf("  beats surfaced at most %d samples (%.0f ms) after their MWI peak\n",
+				lag, 1000*float64(lag)/float64(rec.FS))
+		}
 
-		// The streaming path is bit-identical to batch processing.
+		// The streaming path is bit-identical to batch processing followed
+		// by the whole-record detector.
 		batch := pipe.Run(rec.Samples)
-		for i := range batch.Integrated {
-			if batch.Integrated[i] != out.Integrated[i] || batch.Filtered[i] != out.Filtered[i] {
-				log.Fatalf("stream/batch divergence at sample %d", i)
+		ref := pantompkins.Detect(batch.Filtered, batch.Integrated, rec.FS)
+		if len(ref.Peaks) != len(det.Peaks) {
+			log.Fatalf("stream/batch divergence: %d vs %d beats", len(det.Peaks), len(ref.Peaks))
+		}
+		for i := range ref.Peaks {
+			if ref.Peaks[i] != det.Peaks[i] {
+				log.Fatalf("stream/batch divergence at beat %d", i)
 			}
 		}
 	}
-	fmt.Println("\nstreamed outputs verified bit-identical to batch processing")
+	fmt.Println("\nstreamed detections verified bit-identical to whole-record batch detection")
 }

@@ -29,8 +29,11 @@ type Adder struct {
 	// form inlined in the loop.
 	chain chainFunc
 	fold  func(vals []int64) int64
-	// exact marks plans that reduce to native addition under kernel mode.
-	exact bool
+	// exact marks plans that reduce to native addition under kernel mode;
+	// enabled records the compilation mode (chain compilation consults it
+	// before attaching kernel-mode projection tables).
+	exact   bool
+	enabled bool
 }
 
 // CompileAdder validates spec and builds its evaluation plan under the
@@ -50,6 +53,7 @@ func compileAdderMode(spec arith.Adder, enabled bool) (*Adder, error) {
 	ad.chain = compileChain(spec, enabled)
 	ad.fold = compileFold(spec, ad, enabled)
 	ad.exact = enabled && effectiveLSBs(spec) == 0
+	ad.enabled = enabled
 	return ad, nil
 }
 

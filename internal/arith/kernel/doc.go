@@ -57,17 +57,68 @@
 // the plan hoists all config-dependent state to compile time and evaluates
 // with zero allocations.
 //
-// # Coefficient and squaring tables
+// # Coefficient and squaring tables: the representation tiers
 //
 // FIR taps only ever multiply the signal by small fixed coefficients
-// (LPF 1..6, HPF -1/31, DER +-1/+-2), so ConstMulTable enumerates the
-// 2^Width products of one (coefficient, multiplier-config) pair once,
-// through the compiled multiplier, and the whole approximate multiply
-// becomes a table index. A 16-bit table is 2^16 int64 entries = 512 KiB;
-// the five-stage Pan-Tompkins pipeline needs at most 8 distinct coefficient
-// magnitudes plus one SquareTable per configuration (~4.5 MiB), and tables
-// are memoized globally across configurations exactly like the compiled
-// plans, so design-space exploration pays for each one once.
+// (LPF 1..6, HPF -1/31, DER +-1/+-2), so ConstMulTable captures the
+// products of one (coefficient, multiplier-config) pair once and the
+// whole approximate multiply becomes one or two cache-resident loads.
+// The representation is tiered by what the compiled plan allows —
+// shared sub-product tables, then an int32 full table, then int64, with
+// the oracle build behind them all:
+//
+//   - Exact plans carry no table at all: the product is a native multiply
+//     behind a branch-free sign-magnitude wrapper, and a fully exact FIR
+//     chain fuses further into plain multiply-accumulate (see below).
+//     Every k = 0 stage of a design therefore costs zero table bytes.
+//
+//   - Shared sub-product tier: when the plan's top-level decomposition is
+//     exact (both accumulation adders of the composite root reduce to
+//     native addition), the full table collapses to two 2^(Width/2)-entry
+//     packed tables — each root sub-product depends on only one half of
+//     the operand — plus the compiled combining adder. 2 KiB instead of
+//     512 KiB at the pipeline's 16-bit width, and ~256x cheaper to build
+//     (4 x 2^8 child evaluations instead of 2^16).
+//
+//   - int32 full tier: plans whose root combines approximately keep the
+//     full 2^Width table — re-running the approximate combining per
+//     lookup costs more than the load it replaces — but build it through
+//     the same decomposition (two compiled accumulations per entry, the
+//     two signs of one magnitude sharing one core evaluation) and store
+//     int32 entries: half the bytes of the previous int64 representation.
+//     The build checks every entry; a (spec, coeff) pair whose product
+//     overflows int32 promotes to
+//
+//   - int64 full tier: the overflow fallback, and
+//
+//   - the oracle: in XBIOSIP_NO_KERNELS mode plans have no decomposition,
+//     so tables build bit-serially through the reference models (contents
+//     are mode-independent — that is the equivalence guarantee — only the
+//     build path and resident tier differ).
+//
+// SquareTable squares depend on both halves of their single operand at
+// once, so the sub-product tier does not apply: exact specs are
+// table-free, everything else keeps an int32 (or int64) full table.
+//
+// # Chain projections, sliding windows and MAC fusion
+//
+// The batched chains layer two more compiled projections on top of the
+// tiers. For the wiring adders (AMA4/AMA5) the closed form sums, per tap,
+// only an upper slice of the product plus a carry bit; chainProj bakes
+// that whole term into a 2^Width x uint32 projection table per
+// (table, polarity, k), making each projected tap one load and one add.
+// And because those terms add in plain modular arithmetic, a long run of
+// taps sharing one projection over contiguous lags — the 32-tap high-pass
+// shape — collapses to an O(1) sliding window per sample (add the
+// entering term, drop the leaving one, correct the few differing taps).
+// Fully exact chains fuse the other way: with an exact accumulator and
+// exact in-range products, sliced products equal plain integer products
+// and native accumulation is associative, so the whole chain is one
+// multiply-accumulate loop with the coefficients' signs folded in.
+//
+// CacheStats reports the live bytes of every tier (and DropCaches empties
+// the caches for cold-build benchmarks), so the working set is tracked
+// across PRs the way ns/op is.
 //
 // # Fallback to the bit-serial oracle
 //

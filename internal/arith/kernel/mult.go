@@ -167,6 +167,117 @@ func compileAccAdder(spec arith.Multiplier, w, off int) (*Adder, error) {
 	return ad, nil
 }
 
+// subProductTables enumerates the four half-width sub-products of the
+// plan's top-level decomposition for one fixed coefficient magnitude cm:
+// with the operand split as a = ahi<<h | alo, every root sub-product
+// depends on only one half of the operand, so two 2^h-entry tables — one
+// indexed by alo, one by ahi — capture the whole variable dependence. Each
+// uint32 entry packs the two sub-products of its index (low half | high
+// half << 16); a sub-product of an h <= 8 bit child is at most 2h <= 16
+// bits (composite children mask to their product width, exact children
+// multiply h-bit values), so the packing is lossless. Requires a composite
+// root (m.root non-nil and neither exact nor leaf).
+func (m *Multiplier) subProductTables(cm uint64) (lo, hi []uint32) {
+	n := m.root
+	h := uint(n.h)
+	cm &= m.opMask
+	cl, ch := cm&n.hMask, cm>>h
+	size := 1 << h
+	lo = make([]uint32, size)
+	hi = make([]uint32, size)
+	for a := 0; a < size; a++ {
+		ua := uint64(a)
+		lo[a] = uint32(n.ll.eval(ua, cl)) | uint32(n.lh.eval(ua, ch))<<16
+		hi[a] = uint32(n.hl.eval(ua, cl)) | uint32(n.hh.eval(ua, ch))<<16
+	}
+	return lo, hi
+}
+
+// composite reports whether the plan has a composite root whose top-level
+// decomposition the table builders can exploit (false for exact plans,
+// oracle-mode fallbacks and 2-bit leaf roots).
+func (m *Multiplier) composite() bool {
+	return m.root != nil && !m.root.leaf && !m.root.exact
+}
+
+// decompExact reports whether the plan's top-level decomposition is exact:
+// both accumulation adders of the composite root reduce to native
+// addition, so combining the four sub-products per lookup costs a handful
+// of word operations. This is the condition for the live decomposed table
+// tier — with approximate combining adders the per-lookup datapath costs
+// more than the full-table load it would replace.
+func (m *Multiplier) decompExact() bool {
+	return m.composite() && m.root.addMid.exact && m.root.addLo.exact
+}
+
+// combineCore runs the root node's two compiled accumulations over one
+// operand magnitude's sub-product table entries and returns the signed
+// core product (the coefficient's sign not yet applied) — exactly the
+// per-entry evaluation MulSigned performs after its sign-magnitude split.
+func (m *Multiplier) combineCore(lo, hi []uint32, mag uint64) int64 {
+	n := m.root
+	a := mag & m.opMask
+	le := lo[a&n.hMask]
+	he := hi[a>>uint(n.h)]
+	mid := n.addMid.Add(uint64(he&0xffff), uint64(le>>16))
+	s := n.addLo.Add(uint64(le&0xffff), mid<<uint(n.h))
+	s = n.addLo.Add(s, uint64(he>>16)<<uint(n.w))
+	return arith.ToSigned(s&n.prodMask&m.prodMask, 2*m.spec.Width)
+}
+
+// constMulFunc compiles the signed constant-multiply closure over a pair
+// of sub-product tables: the per-sample form of the decomposed table tier.
+// The closure reproduces MulSigned exactly — branch-free sign-magnitude
+// split of the operand (its sign is data-dependent on the signal, so a
+// branch would mispredict), the root node's two accumulations over the
+// table entries, product slicing, sign re-application (negC folds the
+// fixed coefficient's sign in at compile time). The exact-combining form
+// (the live tier, see decompExact) is fully inline; other combinations go
+// through the adders' compiled AddCarry closures.
+func (m *Multiplier) constMulFunc(lo, hi []uint32, negC bool) func(int64) int64 {
+	n := m.root
+	w := m.spec.Width
+	h := uint(n.h)
+	loMask := n.hMask
+	opMask := m.opMask
+	sign := uint(w - 1)
+	pm := n.prodMask & m.prodMask
+	sx := uint(64 - 2*w)
+	w2 := uint(n.w)
+	mM := mask(n.addMid.spec.Width)
+	mL := mask(n.addLo.spec.Width)
+	// cneg is the coefficient's sign as a flip mask XORed with the
+	// operand's at evaluation time.
+	var cneg uint64
+	if negC {
+		cneg = ^uint64(0)
+	}
+	if n.addMid.exact && n.addLo.exact {
+		return func(x int64) int64 {
+			mag, sgn := signMag(uint64(x)&opMask, opMask, sign)
+			le := lo[mag&loMask]
+			he := hi[mag>>h]
+			mid := (uint64(he&0xffff) + uint64(le>>16)) & mM
+			s := (uint64(le&0xffff) + mid<<h + uint64(he>>16)<<w2) & mL
+			p := sext(s&pm, sx)
+			flip := int64(sgn ^ cneg)
+			return (p ^ flip) - flip
+		}
+	}
+	addMid, addLo := n.addMid.fn, n.addLo.fn
+	return func(x int64) int64 {
+		mag, sgn := signMag(uint64(x)&opMask, opMask, sign)
+		le := lo[mag&loMask]
+		he := hi[mag>>h]
+		mid, _ := addMid(uint64(he&0xffff), uint64(le>>16), 0)
+		s, _ := addLo(uint64(le&0xffff), mid<<h, 0)
+		s, _ = addLo(s, uint64(he>>16)<<w2, 0)
+		p := sext(s&pm, sx)
+		flip := int64(sgn ^ cneg)
+		return (p ^ flip) - flip
+	}
+}
+
 // eval walks the plan; operands are w-bit.
 func (n *mulNode) eval(a, b uint64) uint64 {
 	if n.exact {

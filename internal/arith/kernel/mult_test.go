@@ -145,6 +145,9 @@ func TestTablesMatchReference(t *testing.T) {
 		{Width: 16, ApproxLSBs: 8, Mult: approx.AppMultV1, Add: approx.ApproxAdd5},
 		{Width: 16, ApproxLSBs: 16, Mult: approx.AppMultV2, Add: approx.ApproxAdd2},
 		{Width: 16, ApproxLSBs: 12, Mult: approx.AppMultV1, Add: approx.ApproxAdd1},
+		// Exactly-combined plans: the live decomposed (sub-product) tier.
+		{Width: 16, ApproxLSBs: 8, Mult: approx.AppMultV1, Add: approx.AccAdd},
+		{Width: 16, ApproxLSBs: 6, Mult: approx.AppMultV2, Add: approx.AccAdd},
 	}
 	coeffs := []int64{1, 2, 3, 4, 5, 6, 31}
 	for _, m := range configs {

@@ -34,14 +34,22 @@ type ChainOp struct {
 	Sub bool
 }
 
-// chainOp is the compiled form: the table storage inlined and the
-// subtract flag lowered to the operand XOR mask / carry-in the strategy
-// loops consume branch-free.
+// chainOp is the compiled form of one tap. The product is evaluated
+// through the fastest available projection of its table, most specific
+// first: proj is the wiring-chain upper-slice projection (one load + one
+// add per tap, see wiringChain), tab32 the full table inline, mul the
+// fallback closure (table-free exact tier, decomposed tier, int64
+// tables). c carries the signed coefficient for the fused exact-MAC
+// strategy; neg is the subtract flag lowered to the operand XOR mask /
+// carry-in the strategy loops consume branch-free.
 type chainOp struct {
-	tab  []int64
-	mask uint64
-	neg  uint64 // 0 for add, ^0 for subtract (operand inversion + carry)
-	lag  int
+	proj  []uint32
+	tab32 []int32
+	mul   func(int64) int64
+	c     int64
+	mask  uint64
+	neg   uint64 // 0 for add, ^0 for subtract (operand inversion + carry)
+	lag   int
 }
 
 // chainFunc runs a compiled chain over a whole signal (see Chain.Run).
@@ -51,24 +59,254 @@ type chainFunc func(c *Chain, dst, xs []int64, outShift uint, outWidth int)
 // FIR's tap products through one adder, evaluated sample-major with the
 // adder's closed form inlined per tap. Build chains with Adder.NewChain.
 type Chain struct {
-	ad  *Adder
-	ops []chainOp
-	fn  chainFunc
+	ad    *Adder
+	ops   []chainOp
+	fn    chainFunc
+	fused bool // the chain compiled to the native multiply-accumulate loop
 }
+
+// Fused reports whether the chain collapsed to the native
+// multiply-accumulate loop (exact adder, exact in-range products). The
+// per-sample scalar paths consult it so their fast path and the batch
+// kernel share one fusibility decision.
+func (c *Chain) Fused() bool { return c.fused }
 
 // NewChain compiles the accumulation chain for the given taps. The first
 // tap starts each sample's chain (its product is copied, or subtracted
 // from zero, rather than added), exactly like the scalar accumulation.
+//
+// Two chain-level fusions happen here. A fully exact chain (exact adder,
+// every tap on the table-free exact tier with an in-range coefficient)
+// collapses to native multiply-accumulate: the sliced product of a
+// Width-bit operand with |c| < 2^(Width-1) is the plain integer product,
+// and native accumulation is associative modulo the accumulator width, so
+// the whole chain is one MAC loop — bit-identical and table-free. For the
+// wiring adders (AMA4/AMA5) every tap that contributes only its upper
+// slice gets a projection table: the per-tap term
+// (ub >> k) + carry collapses to one uint32 load (see wiringChain and
+// chainProj).
 func (ad *Adder) NewChain(ops []ChainOp) *Chain {
 	c := &Chain{ad: ad, fn: ad.chain}
+	c.ops = make([]chainOp, 0, len(ops))
+	mac := ad.exact && len(ops) > 0
 	for _, op := range ops {
-		co := chainOp{tab: op.Tab.tab, mask: op.Tab.opMask, lag: op.Lag}
+		t := op.Tab
+		co := chainOp{tab32: t.tab32, mul: t.fn, mask: t.opMask, c: t.coeff, lag: op.Lag}
 		if op.Sub {
 			co.neg = ^uint64(0)
+			co.c = -co.c
+		}
+		if !t.exact || t.coeff < 0 || t.coeff >= int64(1)<<(t.spec.Width-1) {
+			mac = false
 		}
 		c.ops = append(c.ops, co)
 	}
+	if mac {
+		c.fn = macChain(ad.spec.Width)
+		c.fused = true
+		return c
+	}
+	if ad.enabled && !ad.exact && (ad.spec.Kind == approx.ApproxAdd4 || ad.spec.Kind == approx.ApproxAdd5) {
+		invA := ad.spec.Kind == approx.ApproxAdd4
+		k := effectiveLSBs(ad.spec)
+		last := len(c.ops) - 1
+		for o := range c.ops {
+			if last == 0 {
+				break // single-tap chain: the opening accumulator is the result
+			}
+			if invA && o == 0 {
+				continue // AMA4 derives the low region from the raw opening accumulator
+			}
+			if !invA && o == last {
+				continue // AMA5 keeps the last operand's low region, needs it raw
+			}
+			op := &c.ops[o]
+			op.proj = chainProj(ops[o].Tab, ad.spec.Width, k, op.neg != 0, !invA)
+		}
+		if plan, ok := slidePlanFor(c, invA); ok {
+			c.fn = slidingWiring(ad.spec.Width, k, invA, plan)
+		}
+	}
 	return c
+}
+
+// slidePlan drives the sliding-window evaluation of a wiring chain's
+// projected taps. The projected per-tap terms form a plain modular sum,
+// so taps that share one projection table over a contiguous lag range
+// collapse to an O(1) sliding window per sample (add the entering term,
+// drop the leaving one), with the few differing taps corrected
+// individually — the 32-tap high-pass shape goes from 31 projection loads
+// per sample to two window updates plus one correction.
+type slidePlan struct {
+	tab   []uint32 // majority projection table
+	mask  uint64
+	a, b  int   // contiguous lag range the window covers
+	corr  []int // op indices inside [a..b] projecting through another table
+	terms int   // b - a + 1
+}
+
+// slidePlanFor inspects a chain's projected taps and builds the sliding
+// plan when it pays: at least eight projected taps, one per consecutive
+// lag, at most a quarter of them differing from the majority table.
+func slidePlanFor(c *Chain, invA bool) (slidePlan, bool) {
+	last := len(c.ops) - 1
+	lo, hi := 0, last-1 // AMA5 projects every tap but the last
+	if invA {
+		lo, hi = 1, last // AMA4 every tap but the opening one
+	}
+	n := hi - lo + 1
+	if n < 8 {
+		return slidePlan{}, false
+	}
+	// One projected tap per consecutive lag, all sharing one operand mask.
+	// The majority table is found by linear scans over the handful of
+	// distinct projections (a chain has one table per distinct coefficient
+	// polarity), keeping construction allocation-light.
+	var distinct [8][]uint32
+	var counts [8]int
+	nd := 0
+	for o := lo; o <= hi; o++ {
+		op := &c.ops[o]
+		if op.proj == nil || op.mask != c.ops[lo].mask || op.lag != c.ops[lo].lag+(o-lo) {
+			return slidePlan{}, false
+		}
+		found := false
+		for d := 0; d < nd; d++ {
+			if &distinct[d][0] == &op.proj[0] {
+				counts[d]++
+				found = true
+				break
+			}
+		}
+		if !found {
+			if nd == len(distinct) {
+				return slidePlan{}, false // more tables than any FIR shape uses
+			}
+			distinct[nd] = op.proj
+			counts[nd] = 1
+			nd++
+		}
+	}
+	best := 0
+	for d := 1; d < nd; d++ {
+		if counts[d] > counts[best] {
+			best = d
+		}
+	}
+	if corr := n - counts[best]; corr > n/4 {
+		return slidePlan{}, false
+	}
+	plan := slidePlan{tab: distinct[best], mask: c.ops[lo].mask, a: c.ops[lo].lag, b: c.ops[hi].lag, terms: n}
+	for o := lo; o <= hi; o++ {
+		if &c.ops[o].proj[0] != &plan.tab[0] {
+			plan.corr = append(plan.corr, o)
+		}
+	}
+	return plan, true
+}
+
+// slidingWiring is wiringChain with the projected taps evaluated through
+// the sliding window of a slidePlan; bit-identical because the projected
+// terms sum in plain modular arithmetic (see wiringChain for the closed
+// form and chainProj for the terms).
+func slidingWiring(w, k int, invA bool, plan slidePlan) chainFunc {
+	mW := mask(w)
+	mk := mask(k)
+	ku := uint(k)
+	return func(c *Chain, dst, xs []int64, outShift uint, outWidth int) {
+		ops := c.ops
+		ad := c.ad
+		last := len(ops) - 1
+		T := plan.tab
+		tm := plan.mask
+		t0 := uint64(T[0])
+		// Window state for the virtual sample before the signal: every
+		// covered lag reads the zero-filled prefix.
+		S := uint64(plan.terms) * t0
+		for i := range dst {
+			// Slide: lag a of sample i enters, lag b of sample i-1 leaves.
+			var xn, xo int64
+			if j := i - plan.a; j >= 0 {
+				xn = xs[j]
+			}
+			if j := i - 1 - plan.b; j >= 0 {
+				xo = xs[j]
+			}
+			S += uint64(T[uint64(xn)&tm]) - uint64(T[uint64(xo)&tm])
+			u := S
+			for _, ci := range plan.corr {
+				op := &ops[ci]
+				var x int64
+				if j := i - op.lag; j >= 0 {
+					x = xs[j]
+				}
+				xi := uint64(x) & tm
+				u += uint64(op.proj[xi]) - uint64(T[xi])
+			}
+			var acc uint64
+			if invA {
+				op0 := &ops[0]
+				p0 := op0.product(xs, i)
+				if op0.neg != 0 {
+					acc = uint64(ad.subS(0, p0)) & mW
+				} else {
+					acc = uint64(p0) & mW
+				}
+				steps := uint64(last)
+				u += acc>>ku + steps/2 + ((acc>>(ku-1))&1)*(steps&1)
+				low := acc & mk
+				if steps&1 == 1 {
+					low = ^acc & mk
+				}
+				acc = (low | u<<ku) & mW
+			} else {
+				opL := &ops[last]
+				ub := (uint64(opL.product(xs, i)) ^ opL.neg) & mW
+				u += ub >> ku
+				acc = (ub&mk | u<<ku) & mW
+			}
+			dst[i] = finish(acc, w, outShift, outWidth)
+		}
+	}
+}
+
+// macChain is the fused fully-exact chain: one native multiply-accumulate
+// per tap with the signed coefficients folded in, equivalent to the
+// nativeChain sum of sliced exact products (see NewChain).
+func macChain(w int) chainFunc {
+	mW := mask(w)
+	return func(c *Chain, dst, xs []int64, outShift uint, outWidth int) {
+		ops := c.ops
+		for i := range dst {
+			var s int64
+			for o := range ops {
+				op := &ops[o]
+				var x int64
+				if j := i - op.lag; j >= 0 {
+					x = xs[j]
+				}
+				s += x * op.c
+			}
+			dst[i] = finish(uint64(s)&mW, w, outShift, outWidth)
+		}
+	}
+}
+
+// ProjTables returns the distinct projection tables the chain's strategy
+// consumes (empty for non-wiring chains), so callers can account a
+// design's full kernel working set alongside its product tables.
+func (c *Chain) ProjTables() [][]uint32 {
+	var out [][]uint32
+	seen := map[*uint32]bool{}
+	for i := range c.ops {
+		p := c.ops[i].proj
+		if p == nil || seen[&p[0]] {
+			continue
+		}
+		seen[&p[0]] = true
+		out = append(out, p)
+	}
+	return out
 }
 
 // Run evaluates the chain for every sample of xs into dst (dst[i] from the
@@ -86,15 +324,18 @@ func (c *Chain) Run(dst, xs []int64, outShift uint, outWidth int) {
 	c.fn(c, dst, xs, outShift, outWidth)
 }
 
-// product looks one tap's delayed sample product up (samples before the
-// start of the signal read as zero). Kept tiny so it inlines into the
-// strategy loops.
+// product evaluates one tap's delayed sample product (samples before the
+// start of the signal read as zero): the full int32 table inline when the
+// tap has one, the tier closure otherwise.
 func (op *chainOp) product(xs []int64, i int) int64 {
 	var x int64
 	if j := i - op.lag; j >= 0 {
 		x = xs[j]
 	}
-	return op.tab[uint64(x)&op.mask]
+	if op.tab32 != nil {
+		return int64(op.tab32[uint64(x)&op.mask])
+	}
+	return op.mul(x)
 }
 
 // start opens one sample's chain: the first product is copied into the
@@ -142,22 +383,13 @@ func genericChain(w int) chainFunc {
 		ops := c.ops
 		ad := c.ad
 		for i := range dst {
-			op := &ops[0]
-			var x int64
-			if j := i - op.lag; j >= 0 {
-				x = xs[j]
-			}
-			acc := op.tab[uint64(x)&op.mask]
-			if op.neg != 0 {
+			acc := ops[0].product(xs, i)
+			if ops[0].neg != 0 {
 				acc = ad.subS(0, acc)
 			}
 			for o := 1; o < len(ops); o++ {
 				op := &ops[o]
-				var x int64
-				if j := i - op.lag; j >= 0 {
-					x = xs[j]
-				}
-				p := op.tab[uint64(x)&op.mask]
+				p := op.product(xs, i)
 				if op.neg != 0 {
 					acc = ad.subS(acc, p)
 				} else {
@@ -181,11 +413,7 @@ func nativeChain(w int) chainFunc {
 			var s uint64
 			for o := range ops {
 				op := &ops[o]
-				var x int64
-				if j := i - op.lag; j >= 0 {
-					x = xs[j]
-				}
-				p := uint64(op.tab[uint64(x)&op.mask])
+				p := uint64(op.product(xs, i))
 				s += (p ^ op.neg) + (op.neg & 1)
 			}
 			dst[i] = finish(s&mW, w, outShift, outWidth)
@@ -204,6 +432,15 @@ func nativeChain(w int) chainFunc {
 // from the last operand (AMA5) or the opening accumulator's parity-
 // complemented low bits (AMA4). Subtraction inverts the operand; wiring
 // cells drop the +1 carry-in, like the scalar closures.
+//
+// Every tap that contributes only its upper slice reads its whole term
+// from a projection table (see chainProj): AMA5 sums
+// projRound[x] = (ub + 2^(k-1)) >> k per tap before the last — the
+// opening accumulator included, because copying p and zero-subtracting
+// through the wiring datapath both leave acc = ub, making the seed
+// acc>>k plus its k-1 bit the same rounded shift — and AMA4 sums
+// projTrunc[x] = ub >> k for every tap after the opening one. The hot
+// loop is one 32-bit load and one add per such tap.
 func wiringChain(w, k int, invA bool) chainFunc {
 	mW := mask(w)
 	mk := mask(k)
@@ -212,71 +449,111 @@ func wiringChain(w, k int, invA bool) chainFunc {
 		ops := c.ops
 		ad := c.ad
 		last := len(ops) - 1
-		for i := range dst {
-			// Opening accumulator: the first product copied, or pushed
-			// through the zero-subtract wiring datapath.
+		if last == 0 {
+			// Single-tap chain: the opening accumulator is the result.
 			op0 := &ops[0]
-			var x0 int64
-			if j := i - op0.lag; j >= 0 {
-				x0 = xs[j]
-			}
-			p0 := op0.tab[uint64(x0)&op0.mask]
-			var acc uint64
-			if op0.neg != 0 {
-				acc = uint64(ad.subS(0, p0)) & mW
-			} else {
-				acc = uint64(p0) & mW
-			}
-			if last > 0 {
-				u := acc >> ku
-				var low uint64
-				if invA {
-					// AMA4: carries alternate with the opening low bits;
-					// the low region complements once per step.
-					b0 := (acc >> (ku - 1)) & 1
-					steps := uint64(last)
-					u += steps / 2
-					u += b0 * (steps & 1)
-					low = acc & mk
-					if steps&1 == 1 {
-						low = ^acc & mk
-					}
-					for o := 1; o <= last; o++ {
-						op := &ops[o]
-						var x int64
-						if j := i - op.lag; j >= 0 {
-							x = xs[j]
-						}
-						ub := (uint64(op.tab[uint64(x)&op.mask]) ^ op.neg) & mW
-						u += ub >> ku
-					}
+			for i := range dst {
+				p0 := op0.product(xs, i)
+				var acc uint64
+				if op0.neg != 0 {
+					acc = uint64(ad.subS(0, p0)) & mW
 				} else {
-					// AMA5: each step's carry is bit k-1 of the previous
-					// operand; the last operand keeps the low region.
-					u += (acc >> (ku - 1)) & 1
-					for o := 1; o < last; o++ {
-						op := &ops[o]
-						var x int64
-						if j := i - op.lag; j >= 0 {
-							x = xs[j]
-						}
-						ub := (uint64(op.tab[uint64(x)&op.mask]) ^ op.neg) & mW
-						u += ub>>ku + (ub>>(ku-1))&1
-					}
-					op := &ops[last]
+					acc = uint64(p0) & mW
+				}
+				dst[i] = finish(acc, w, outShift, outWidth)
+			}
+			return
+		}
+		if invA {
+			// AMA4: carries alternate with the opening low bits; the low
+			// region complements once per step.
+			steps := uint64(last)
+			for i := range dst {
+				op0 := &ops[0]
+				p0 := op0.product(xs, i)
+				var acc uint64
+				if op0.neg != 0 {
+					acc = uint64(ad.subS(0, p0)) & mW
+				} else {
+					acc = uint64(p0) & mW
+				}
+				u := acc>>ku + steps/2 + ((acc>>(ku-1))&1)*(steps&1)
+				low := acc & mk
+				if steps&1 == 1 {
+					low = ^acc & mk
+				}
+				for o := 1; o <= last; o++ {
+					op := &ops[o]
 					var x int64
 					if j := i - op.lag; j >= 0 {
 						x = xs[j]
 					}
-					ub := (uint64(op.tab[uint64(x)&op.mask]) ^ op.neg) & mW
-					u += ub >> ku
-					low = ub & mk
+					u += uint64(op.proj[uint64(x)&op.mask])
 				}
-				acc = (low | u<<ku) & mW
+				dst[i] = finish((low|u<<ku)&mW, w, outShift, outWidth)
 			}
-			dst[i] = finish(acc, w, outShift, outWidth)
+			return
+		}
+		// AMA5: every tap before the last is one projection load; the last
+		// operand keeps the low region.
+		opL := &ops[last]
+		for i := range dst {
+			var u uint64
+			for o := 0; o < last; o++ {
+				op := &ops[o]
+				var x int64
+				if j := i - op.lag; j >= 0 {
+					x = xs[j]
+				}
+				u += uint64(op.proj[uint64(x)&op.mask])
+			}
+			ub := (uint64(opL.product(xs, i)) ^ opL.neg) & mW
+			u += ub >> ku
+			dst[i] = finish((ub&mk|u<<ku)&mW, w, outShift, outWidth)
 		}
 	}
+}
+
+// chainProj returns the memoized wiring-chain projection of one product
+// table: entry x holds the tap's whole upper-slice term
+// ((p(x) ^ neg) & mask(w) + round*2^(k-1)) >> k, so the chain loops pay
+// one 32-bit load and one add per projected tap. Projections are built
+// from the table's product closure (any tier) and cached globally like
+// the tables themselves.
+func chainProj(t *ConstMulTable, w, k int, neg, round bool) []uint32 {
+	key := projKey{spec: t.spec, coeff: t.coeff, w: w, k: k, neg: neg, round: round}
+	planCache.Lock()
+	if planCache.proj == nil {
+		planCache.proj = make(map[projKey][]uint32)
+	}
+	p, ok := planCache.proj[key]
+	planCache.Unlock()
+	if ok {
+		return p
+	}
+	mW := mask(w)
+	var nm uint64
+	if neg {
+		nm = ^uint64(0)
+	}
+	var half uint64
+	if round {
+		half = uint64(1) << (k - 1)
+	}
+	n := int(t.opMask) + 1
+	p = make([]uint32, n)
+	for u := 0; u < n; u++ {
+		x := arith.ToSigned(uint64(u), t.spec.Width)
+		ub := (uint64(t.fn(x)) ^ nm) & mW
+		p[u] = uint32((ub + half) >> uint(k))
+	}
+	planCache.Lock()
+	defer planCache.Unlock()
+	if prev, ok := planCache.proj[key]; ok {
+		return prev
+	}
+	planCache.proj[key] = p
+	return p
 }
 
 // ama2Chain covers AMA2 through the native-carry XOR trick of ama2Add,
@@ -290,11 +567,7 @@ func ama2Chain(w, k int) chainFunc {
 			acc := c.start(xs, i) & mW
 			for o := 1; o < len(ops); o++ {
 				op := &ops[o]
-				var x int64
-				if j := i - op.lag; j >= 0 {
-					x = xs[j]
-				}
-				ub := (uint64(op.tab[uint64(x)&op.mask]) ^ op.neg) & mW
+				ub := (uint64(op.product(xs, i)) ^ op.neg) & mW
 				v, cf := bits.Add64(acc, ub, op.neg&1)
 				if w < 64 {
 					cf = (v >> w) & 1
@@ -320,11 +593,7 @@ func chunkChain(w, k int, kind approx.AdderKind) chainFunc {
 			acc := c.start(xs, i) & mW
 			for o := 1; o < len(ops); o++ {
 				op := &ops[o]
-				var x int64
-				if j := i - op.lag; j >= 0 {
-					x = xs[j]
-				}
-				ub := (uint64(op.tab[uint64(x)&op.mask]) ^ op.neg) & mW
+				ub := (uint64(op.product(xs, i)) ^ op.neg) & mW
 				carry := op.neg & 1
 				var sum uint64
 				b := 0

@@ -60,12 +60,27 @@ func TestChainMatchesScalar(t *testing.T) {
 			for i := range xs {
 				xs[i] = int64(int16(rng.Uint64()))
 			}
+			// hpfLike triggers the sliding-window wiring evaluation: a long
+			// run of one subtracted coefficient with a differing tap in the
+			// middle (the high-pass shape); hpfHole breaks lag contiguity
+			// so the plain projected loop stays covered at length.
+			hpfLike := make([]ChainOp, 12)
+			hpfHole := make([]ChainOp, 0, 11)
+			for i := range hpfLike {
+				hpfLike[i] = ChainOp{Tab: tabs[0], Lag: i, Sub: true}
+				if i != 4 {
+					hpfHole = append(hpfHole, ChainOp{Tab: tabs[0], Lag: i, Sub: i%2 == 0})
+				}
+			}
+			hpfLike[6] = ChainOp{Tab: tabs[3], Lag: 6, Sub: false}
 			chains := [][]ChainOp{
 				{{Tab: tabs[0], Lag: 0, Sub: false}, {Tab: tabs[1], Lag: 1, Sub: true}, {Tab: tabs[2], Lag: 5, Sub: false}, {Tab: tabs[3], Lag: 31, Sub: true}},
 				{{Tab: tabs[3], Lag: 2, Sub: true}, {Tab: tabs[0], Lag: 0, Sub: false}, {Tab: tabs[1], Lag: n + 3, Sub: true}},
 				{{Tab: tabs[2], Lag: 4, Sub: false}},
 				{{Tab: tabs[0], Lag: 0, Sub: false}, {Tab: tabs[3], Lag: 6, Sub: true}},
 				{{Tab: tabs[1], Lag: 1, Sub: true}, {Tab: tabs[2], Lag: 0, Sub: true}},
+				hpfLike,
+				hpfHole,
 				{},
 			}
 			for _, spec := range sliceSpecs() {
@@ -121,6 +136,70 @@ func TestChainMatchesScalar(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestExactChainFusion compares the fused exact chain (native
+// multiply-accumulate) and its non-fusible fallbacks against the scalar
+// accumulation: small coefficients of both signs fuse, a coefficient at
+// the sign boundary (2^15) must not, and the behaviour is identical
+// either way.
+func TestExactChainFusion(t *testing.T) {
+	spec := arith.Multiplier{Width: 16, ApproxLSBs: 0, Mult: approx.AccMult, Add: approx.AccAdd}
+	var tabs []*ConstMulTable
+	for _, c := range []int64{1, 7, -3, 31, 1 << 15} {
+		tab, err := NewConstMulTable(spec, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !tab.Exact() || tab.Bytes() != 0 {
+			t.Fatalf("exact spec built a %d-byte table (exact=%v)", tab.Bytes(), tab.Exact())
+		}
+		tabs = append(tabs, tab)
+	}
+	ad, err := CompileAdder(arith.Adder{Width: 32, ApproxLSBs: 0, Kind: approx.AccAdd})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	const n = 48
+	xs := make([]int64, n)
+	for i := range xs {
+		xs[i] = int64(int16(rng.Uint64()))
+	}
+	chains := [][]ChainOp{
+		{{Tab: tabs[0], Lag: 0}, {Tab: tabs[1], Lag: 1, Sub: true}, {Tab: tabs[2], Lag: 3}, {Tab: tabs[3], Lag: 7, Sub: true}},
+		{{Tab: tabs[4], Lag: 0}, {Tab: tabs[0], Lag: 2, Sub: true}}, // 2^15 coefficient: no fusion
+		{{Tab: tabs[2], Lag: 1, Sub: true}},
+	}
+	for ci, ops := range chains {
+		chain := ad.NewChain(ops)
+		dst := make([]int64, n)
+		chain.Run(dst, xs, 5, 16)
+		for i := 0; i < n; i++ {
+			var acc int64
+			for o, op := range ops {
+				var x int64
+				if j := i - op.Lag; j >= 0 {
+					x = xs[j]
+				}
+				p := op.Tab.Mul(x)
+				switch {
+				case o == 0 && op.Sub:
+					acc = ad.SubSigned(0, p)
+				case o == 0:
+					acc = p
+				case op.Sub:
+					acc = ad.SubSigned(acc, p)
+				default:
+					acc = ad.AddSigned(acc, p)
+				}
+			}
+			want := arith.ToSigned(uint64(acc)>>5, 16)
+			if dst[i] != want {
+				t.Fatalf("chain %d: Run[%d] = %d, scalar %d", ci, i, dst[i], want)
+			}
+		}
 	}
 }
 

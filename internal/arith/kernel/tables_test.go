@@ -1,0 +1,219 @@
+package kernel
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"github.com/xbiosip/xbiosip/internal/approx"
+	"github.com/xbiosip/xbiosip/internal/arith"
+)
+
+// TestTableTierSelection pins the representation tier each plan class
+// gets: exact plans are table-free, exactly-decomposable plans keep the
+// 2x256-entry sub-product tables, approximately-combined plans a full
+// int32 table, and oracle-mode fallbacks a full table built through the
+// bit-serial model — with Mul bit-identical to the reference in every
+// tier.
+func TestTableTierSelection(t *testing.T) {
+	cases := []struct {
+		name string
+		spec arith.Multiplier
+		mode bool // compilation mode while building
+		sub  bool // expect the decomposed sub-product tier
+		full bool // expect a full table
+	}{
+		{"exact", arith.Multiplier{Width: 16, ApproxLSBs: 0, Mult: approx.AccMult, Add: approx.AccAdd}, true, false, false},
+		{"exact-kinds", arith.Multiplier{Width: 16, ApproxLSBs: 8, Mult: approx.AccMult, Add: approx.AccAdd}, true, false, false},
+		{"decomposed", arith.Multiplier{Width: 16, ApproxLSBs: 8, Mult: approx.AppMultV1, Add: approx.AccAdd}, true, true, false},
+		{"full-int32", arith.Multiplier{Width: 16, ApproxLSBs: 8, Mult: approx.AppMultV1, Add: approx.ApproxAdd5}, true, false, true},
+		{"oracle", arith.Multiplier{Width: 16, ApproxLSBs: 8, Mult: approx.AppMultV1, Add: approx.ApproxAdd5}, false, false, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			prev := SetEnabled(tc.mode)
+			defer SetEnabled(prev)
+			for _, c := range []int64{1, 31, -6} {
+				tab, err := NewConstMulTable(tc.spec, c)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if gotSub := tab.lo != nil; gotSub != tc.sub {
+					t.Fatalf("c=%d: sub-product tier %v, want %v", c, gotSub, tc.sub)
+				}
+				if gotFull := tab.tab32 != nil || tab.tab64 != nil; gotFull != tc.full {
+					t.Fatalf("c=%d: full-table tier %v, want %v", c, gotFull, tc.full)
+				}
+				if tc.sub && tab.Bytes() != 2*256*4 {
+					t.Fatalf("c=%d: decomposed tier is %d bytes, want %d", c, tab.Bytes(), 2*256*4)
+				}
+				if !tc.sub && !tc.full && tab.Bytes() != 0 {
+					t.Fatalf("c=%d: exact tier reports %d bytes", c, tab.Bytes())
+				}
+				for i := 0; i < 1<<16; i++ {
+					x := arith.ToSigned(uint64(i), 16)
+					if got, want := tab.Mul(x), tc.spec.MulSigned(x, c); got != want {
+						t.Fatalf("c=%d: Mul(%d) = %d, reference %d", c, x, got, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestFullProductTableOverflowFallback drives the overflow-checked build
+// directly: values within int32 compress, a single out-of-range entry
+// (positive, negative, or the negated-minimum) promotes the whole table
+// to int64, bit-identically.
+func TestFullProductTableOverflowFallback(t *testing.T) {
+	cases := []struct {
+		name   string
+		f      func(mag int64) int64
+		odd    bool
+		want64 bool
+	}{
+		{"fits", func(mag int64) int64 { return mag * 3 }, true, false},
+		{"fits-min-even", func(mag int64) int64 { return math.MinInt32 }, false, false},
+		{"positive-overflow", func(mag int64) int64 {
+			if mag == 3 {
+				return math.MaxInt32 + 1
+			}
+			return mag
+		}, true, true},
+		{"negative-overflow", func(mag int64) int64 {
+			if mag == 5 {
+				return math.MinInt32 - 1
+			}
+			return -mag
+		}, true, true},
+		{"negated-min-overflow", func(mag int64) int64 {
+			if mag == 2 {
+				return math.MinInt32 // mirrored entry is +2^31
+			}
+			return 0
+		}, true, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			t32, t64 := fullProductTable(4, tc.odd, tc.f)
+			if got := t64 != nil; got != tc.want64 {
+				t.Fatalf("int64 fallback %v, want %v", got, tc.want64)
+			}
+			at := func(i int) int64 {
+				if t64 != nil {
+					return t64[i]
+				}
+				return int64(t32[i])
+			}
+			for mag := 0; mag <= 8; mag++ {
+				p := tc.f(int64(mag))
+				if mag < 8 && at(mag) != p {
+					t.Fatalf("entry %d = %d, want %d", mag, at(mag), p)
+				}
+				mirror := p
+				if tc.odd {
+					mirror = -p
+				}
+				if mag > 0 && at(16-mag) != mirror {
+					t.Fatalf("mirror entry %d = %d, want %d", 16-mag, at(16-mag), mirror)
+				}
+			}
+		})
+	}
+}
+
+// TestCacheStatsAccounting checks the cache accessor against a known
+// sequence of builds from an empty cache, and that DropCaches empties it.
+// Tier selection depends on the compilation mode (oracle-mode plans have
+// no decomposition), so the test pins kernel mode.
+func TestCacheStatsAccounting(t *testing.T) {
+	prev := SetEnabled(true)
+	defer SetEnabled(prev)
+	DropCaches()
+	defer DropCaches() // leave a clean slate for other tests
+	spec := arith.Multiplier{Width: 16, ApproxLSBs: 8, Mult: approx.AppMultV1, Add: approx.ApproxAdd5}
+	if _, err := CachedConstMulTable(spec, 7); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CachedSquareTable(spec); err != nil {
+		t.Fatal(err)
+	}
+	decomp := arith.Multiplier{Width: 16, ApproxLSBs: 8, Mult: approx.AppMultV1, Add: approx.AccAdd}
+	if _, err := CachedConstMulTable(decomp, 7); err != nil {
+		t.Fatal(err)
+	}
+	st := CacheStats()
+	if st.ConstTables != 2 || st.SquareTables != 1 {
+		t.Fatalf("stats count %d const / %d square tables, want 2/1", st.ConstTables, st.SquareTables)
+	}
+	wantSub := int64(2 * 256 * 4)
+	if st.SubProductBytes != wantSub {
+		t.Fatalf("SubProductBytes = %d, want %d", st.SubProductBytes, wantSub)
+	}
+	wantFull := int64(2 * (1 << 16) * 4) // one int32 product table + one int32 square table
+	if st.FullTableBytes != wantFull {
+		t.Fatalf("FullTableBytes = %d, want %d", st.FullTableBytes, wantFull)
+	}
+	if st.TableBytes != st.SubProductBytes+st.FullTableBytes+st.ChainProjBytes {
+		t.Fatalf("TableBytes = %d, parts sum to %d", st.TableBytes,
+			st.SubProductBytes+st.FullTableBytes+st.ChainProjBytes)
+	}
+	DropCaches()
+	if st := CacheStats(); st.ConstTables != 0 || st.TableBytes != 0 || st.Adders != 0 {
+		t.Fatalf("DropCaches left %+v", st)
+	}
+}
+
+// TestPlanCacheConcurrentColdBuild hammers the global plan/table cache
+// with concurrent cold builds of the same (spec, coeff) from many
+// goroutines (run under -race in CI): every caller must receive the same
+// inserted-first instance, for tables, squares, plans and chain
+// projections alike.
+func TestPlanCacheConcurrentColdBuild(t *testing.T) {
+	DropCaches()
+	defer DropCaches()
+	spec := arith.Multiplier{Width: 16, ApproxLSBs: 12, Mult: approx.AppMultV2, Add: approx.ApproxAdd3}
+	adderSpec := arith.Adder{Width: 32, ApproxLSBs: 12, Kind: approx.ApproxAdd5}
+	const goroutines = 16
+	var (
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		tabs  = map[*ConstMulTable]bool{}
+		sqrs  = map[*SquareTable]bool{}
+		adds  = map[*Adder]bool{}
+		projs = map[*uint32]bool{}
+	)
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func() {
+			defer wg.Done()
+			tab, err := CachedConstMulTable(spec, 12345)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			sq, err := CachedSquareTable(spec)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			ad, err := CachedAdder(adderSpec)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			proj := chainProj(tab, 32, 12, true, true)
+			mu.Lock()
+			tabs[tab] = true
+			sqrs[sq] = true
+			adds[ad] = true
+			projs[&proj[0]] = true
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if len(tabs) != 1 || len(sqrs) != 1 || len(adds) != 1 || len(projs) != 1 {
+		t.Fatalf("concurrent cold builds returned %d/%d/%d/%d distinct instances, want 1 each (first insert wins)",
+			len(tabs), len(sqrs), len(adds), len(projs))
+	}
+}

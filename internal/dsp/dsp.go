@@ -67,6 +67,8 @@ type FIR struct {
 	ops      []firOp       // non-zero taps in tap order
 	chain    *kernel.Chain // the same taps compiled as one slice kernel
 	adder    *kernel.Adder
+	tabs     []*kernel.ConstMulTable // distinct product tables, for accounting
+	mac      []macOp                 // fused fully-exact taps (nil when not applicable)
 	outShift int
 	// hist is the delay line stored twice (hist[i] == hist[i+n]), so a
 	// tap's sample is always hist[pos+n-lag] and the hot loop has no
@@ -76,11 +78,23 @@ type FIR struct {
 	pos  int
 }
 
-// firOp is one non-zero tap of the compiled accumulation chain.
+// firOp is one non-zero tap of the compiled accumulation chain. The
+// product evaluates through ConstMulTable.Mul, whose full-table tier
+// inlines to a single load here.
 type firOp struct {
 	tab *kernel.ConstMulTable
 	lag int  // delay-line age of the tap's sample
 	sub bool // negative coefficient: subtract the product magnitude
+}
+
+// macOp is one tap of the fused fully-exact per-sample path: with an exact
+// adder and exact in-range products the whole chain is native
+// multiply-accumulate (see kernel.Adder.NewChain for the equivalence
+// argument), so the streaming hot path needs no tables and no indirect
+// calls.
+type macOp struct {
+	c   int64
+	lag int
 }
 
 // NewFIR builds the filter. outShift is the right shift applied to the
@@ -108,7 +122,9 @@ func NewFIR(coeffs []int64, outShift int, cfg ArithConfig) (*FIR, error) {
 		n:        len(coeffs),
 	}
 	// One lookup table per distinct coefficient magnitude.
-	byMag := make(map[int64]*kernel.ConstMulTable)
+	byMag := make(map[int64]*kernel.ConstMulTable, len(coeffs))
+	f.ops = make([]firOp, 0, len(coeffs))
+	chainOps := make([]kernel.ChainOp, 0, len(coeffs))
 	for i, c := range coeffs {
 		if c == 0 {
 			continue
@@ -125,16 +141,34 @@ func NewFIR(coeffs []int64, outShift int, cfg ArithConfig) (*FIR, error) {
 				return nil, err
 			}
 			byMag[mag] = tab
+			f.tabs = append(f.tabs, tab)
 		}
 		f.ops = append(f.ops, firOp{tab: tab, lag: i, sub: c < 0})
-	}
-	chainOps := make([]kernel.ChainOp, len(f.ops))
-	for i, op := range f.ops {
-		chainOps[i] = kernel.ChainOp{Tab: op.tab, Lag: op.lag, Sub: op.sub}
+		chainOps = append(chainOps, kernel.ChainOp{Tab: tab, Lag: i, Sub: c < 0})
 	}
 	f.chain = adder.NewChain(chainOps)
+	if f.chain.Fused() && len(f.ops) > 0 {
+		// The batch kernel collapsed to native MAC; mirror it on the
+		// per-sample path so both share one fusibility decision.
+		f.mac = make([]macOp, 0, len(f.ops))
+		for i, c := range coeffs {
+			if c != 0 {
+				f.mac = append(f.mac, macOp{c: c, lag: i})
+			}
+		}
+	}
 	return f, nil
 }
+
+// Tables returns the filter's distinct product tables (one per coefficient
+// magnitude), so callers can account the design's kernel table footprint.
+func (f *FIR) Tables() []*kernel.ConstMulTable {
+	return append([]*kernel.ConstMulTable(nil), f.tabs...)
+}
+
+// ProjTables returns the distinct chain projection tables the filter's
+// batched kernel consumes (see kernel.Chain.ProjTables).
+func (f *FIR) ProjTables() [][]uint32 { return f.chain.ProjTables() }
 
 // Len returns the number of taps.
 func (f *FIR) Len() int { return len(f.coeffs) }
@@ -162,6 +196,18 @@ func (f *FIR) Process(x int64) int64 {
 	f.pos++
 	if f.pos == n {
 		f.pos = 0
+	}
+	if mac := f.mac; mac != nil {
+		// Fused fully-exact path: native MAC, sliced to the accumulator
+		// width exactly like the generic chain leaves it (see macOp).
+		hist := f.hist
+		var s int64
+		for i := range mac {
+			op := &mac[i]
+			s += hist[base-op.lag] * op.c
+		}
+		acc := arith.ToSigned(uint64(s), AccWidth)
+		return arith.ToSigned(uint64(acc)>>uint(f.outShift), SampleWidth)
 	}
 	var acc int64
 	if ops := f.ops; len(ops) > 0 {
@@ -370,6 +416,10 @@ func NewSquarer(outShift int, cfg ArithConfig) (*Squarer, error) {
 	return &Squarer{tab: tab, outShift: outShift}, nil
 }
 
+// Table returns the squaring table, so callers can account the design's
+// kernel table footprint (exact configurations are table-free: 0 bytes).
+func (s *Squarer) Table() *kernel.SquareTable { return s.tab }
+
 // Reset is a no-op: the squarer is combinational (no delay line). It
 // exists so all stages share the Reset/Process per-sample interface the
 // streaming pipeline drives.
@@ -391,9 +441,6 @@ func (s *Squarer) FilterInto(dst, xs []int64) []int64 {
 		// offset overlap (an output write would clobber a later input).
 		dst = make([]int64, len(xs))
 	}
-	shift := uint(s.outShift)
-	for i, x := range xs {
-		dst[i] = s.tab.Square(x) >> shift
-	}
+	s.tab.SquareSlice(dst, xs, uint(s.outShift))
 	return dst
 }

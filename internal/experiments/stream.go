@@ -21,11 +21,12 @@ type StreamRow struct {
 }
 
 // Streaming pushes every record of the evaluation set through one
-// pipeline instance sample by sample — Reset between records — and runs
-// detection over the streamed outputs, the record-by-record workload of a
-// monitoring service. The streamed stage outputs are bit-identical to
-// batch processing (see pantompkins.Pipeline.Push), so the detection
-// quality equals the batch evaluation's.
+// pipeline instance sample by sample — the record-by-record workload of a
+// monitoring service. Detection runs incrementally alongside the stages
+// (pantompkins.Stream couples the pipeline with a StreamDetector whose
+// thresholds advance per sample), so the streaming path holds no record
+// buffers and never rescans a record; the resulting beats are
+// bit-identical to the batch evaluation's whole-record Detect.
 func (s *Setup) Streaming(cfg pantompkins.Config) ([]StreamRow, error) {
 	p, err := pantompkins.New(cfg)
 	if err != nil {
@@ -33,12 +34,11 @@ func (s *Setup) Streaming(cfg pantompkins.Config) ([]StreamRow, error) {
 	}
 	var rows []StreamRow
 	for _, rec := range s.Records {
-		p.Reset()
-		out := &pantompkins.Outputs{}
+		st := p.Stream(rec.FS)
 		for _, x := range rec.Samples {
-			out.Append(p.Push(x))
+			st.Push(x)
 		}
-		det := pantompkins.Detect(out.Filtered, out.Integrated, rec.FS)
+		det := st.Finish()
 		m, err := metrics.MatchPeaks(rec.Annotations, det.Peaks, s.Eval.Tolerance)
 		if err != nil {
 			return nil, err

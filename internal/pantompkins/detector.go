@@ -84,8 +84,16 @@ const filterDelay = 5 + 16
 // with its MWI peak by more than the preset window is omitted as a
 // classification error (Fig 13).
 //
+// Degenerate inputs are defined, not errors: empty signals, mismatched
+// lengths (which cannot arise on the streaming API) and a non-positive fs
+// all yield an empty Detection, and a record shorter than the 2 s
+// learning window learns from the whole record. PeakDetector.Detect and
+// StreamDetector agree with these semantics exactly (table-tested).
+//
 // Detect allocates a fresh Detection per call; batch callers grading many
-// records (the evaluation loop) should reuse a PeakDetector.
+// records (the evaluation loop) should reuse a PeakDetector. For
+// sample-at-a-time decisions without a whole-record rescan use
+// StreamDetector.
 func Detect(filtered, integrated []int64, fs int) Detection {
 	var pd PeakDetector
 	return *pd.Detect(filtered, integrated, fs)

@@ -3,6 +3,7 @@ package pantompkins
 import (
 	"fmt"
 
+	"github.com/xbiosip/xbiosip/internal/arith/kernel"
 	"github.com/xbiosip/xbiosip/internal/dsp"
 	"github.com/xbiosip/xbiosip/internal/ecg"
 )
@@ -61,6 +62,35 @@ func New(cfg Config) (*Pipeline, error) {
 
 // Config returns the pipeline's approximation configuration.
 func (p *Pipeline) Config() Config { return p.cfg }
+
+// KernelTableBytes returns the live kernel table footprint of this design:
+// the bytes of every distinct product, squaring and chain-projection
+// table its five stages evaluate through (tables shared between stages —
+// or with other designs, via the global kernel cache — count once).
+// Exact stages are table-free, so the accurate pipeline reports zero.
+func (p *Pipeline) KernelTableBytes() int64 {
+	var total int64
+	tabs := map[*kernel.ConstMulTable]bool{}
+	projs := map[*uint32]bool{}
+	for _, f := range []*dsp.FIR{p.lpf, p.hpf, p.der} {
+		for _, t := range f.Tables() {
+			if !tabs[t] {
+				tabs[t] = true
+				total += t.Bytes()
+			}
+		}
+		for _, pr := range f.ProjTables() {
+			if !projs[&pr[0]] {
+				projs[&pr[0]] = true
+				total += int64(len(pr)) * 4
+			}
+		}
+	}
+	if t := p.sqr.Table(); t != nil {
+		total += t.Bytes()
+	}
+	return total
+}
 
 // Run processes raw ADC samples through all five stages, whole-array
 // stage by stage from cleared delay lines (the batch path). For
@@ -141,6 +171,40 @@ func (o *Outputs) Append(s StreamSample) {
 	o.Squared = append(o.Squared, s.Squared)
 	o.Integrated = append(o.Integrated, s.Integrated)
 }
+
+// Stream couples a reset pipeline with an incremental StreamDetector:
+// the fully streaming form of Process. Each Push feeds one raw ADC sample
+// through the five stages and the new filtered/integrated samples into
+// the detector, which advances its thresholds and beat decisions in O(1)
+// — the streaming path never rescans a record. Finish returns the final
+// Detection, bit-identical to running the whole-record Detect over the
+// batch outputs.
+type Stream struct {
+	p   *Pipeline
+	det *StreamDetector
+}
+
+// Stream resets the pipeline and starts a streaming detection session at
+// fs Hz.
+func (p *Pipeline) Stream(fs int) *Stream {
+	p.Reset()
+	return &Stream{p: p, det: NewStreamDetector(fs)}
+}
+
+// Push processes one raw sample through all five stages and the
+// incremental detector, returning the per-stage outputs of this sample.
+func (s *Stream) Push(x int16) StreamSample {
+	out := s.p.Push(x)
+	s.det.Push(out.Filtered, out.Integrated)
+	return out
+}
+
+// Detector exposes the incremental detector (for live beat inspection).
+func (s *Stream) Detector() *StreamDetector { return s.det }
+
+// Finish flushes the detector's lookahead and returns the final
+// Detection; see StreamDetector.Finish.
+func (s *Stream) Finish() *Detection { return s.det.Finish() }
 
 // Result bundles a pipeline run with its detection outcome.
 type Result struct {

@@ -1,0 +1,329 @@
+package pantompkins
+
+// StreamDetector is the incremental form of the adaptive-threshold peak
+// detector: it maintains the Pan-Tompkins thresholds, RR statistics and
+// searchback state per pushed sample in O(1) amortised work and bounded
+// memory, instead of rescanning the whole record the way Detect does. Its
+// output — beat indices, MWI peaks and the full decision trace — is
+// bit-identical to running the whole-record Detect over the same two
+// signals (equivalence-tested across the bundled records and the Fig. 11
+// design sweep).
+//
+// The detector lags the signal head by a bounded horizon: a candidate
+// peak at index i is decided once filtered samples up to i+alignAhead
+// exist (the filtered-peak search window is then final) — about 50 ms at
+// the pipeline's sampling rate — and the decisions of the first two
+// seconds are held until the threshold learning window completes, exactly
+// like the whole-record pass seeds its estimates from those samples.
+// Finish flushes the held tail with the end-of-record window clamping
+// Detect applies and returns the final Detection.
+//
+// Degenerate inputs match Detect: a non-positive sampling rate or an
+// empty stream yields an empty Detection.
+type StreamDetector struct {
+	fs int
+	// Derived windows, in samples.
+	refractory int
+	tWaveWin   int
+	searchWin  int
+	alignAhead int
+	slopeWin   int
+	learn      int
+
+	// Ring buffers over the recent filtered/integrated samples, indexed by
+	// absolute sample index modulo their length. Sized to cover the
+	// learning window plus the decision horizon, which dominates every
+	// lookback the decision logic performs.
+	fbuf, ibuf []int64
+
+	t      int  // samples pushed so far
+	cursor int  // next candidate index to examine
+	seeded bool // threshold learning completed
+	done   bool // Finish called
+
+	// Learning-phase accumulators over the first learn samples.
+	maxI, sumI float64
+	maxF, sumF float64
+
+	// Running detector state, mirroring Detect's locals.
+	spki, npki float64
+	spkf, npkf float64
+	lastQRS    int
+	lastSlope  float64
+	rrMean     float64
+	rr         [8]int
+	rrLen      int
+	rrPos      int
+	pending    []streamCand
+
+	det Detection
+}
+
+// streamCand is a pending candidate with its decision-time context
+// precomputed (filtered peak, slope), so a later searchback acceptance
+// needs no access to samples that have left the ring.
+type streamCand struct {
+	idx   int
+	val   int64
+	fpos  int
+	fval  float64
+	slope float64
+}
+
+// NewStreamDetector builds an incremental detector for signals sampled at
+// fs Hz. A non-positive fs yields a detector that ignores samples and
+// reports an empty Detection, like Detect.
+func NewStreamDetector(fs int) *StreamDetector {
+	d := &StreamDetector{fs: fs}
+	d.Reset()
+	return d
+}
+
+// Reset returns the detector to its initial state so a new record or
+// stream can start; ring buffers are kept.
+func (d *StreamDetector) Reset() {
+	fs := d.fs
+	if fs <= 0 {
+		d.det = Detection{}
+		d.done = false
+		return
+	}
+	d.refractory = int(refractoryS * float64(fs))
+	d.tWaveWin = int(tWaveWindowS * float64(fs))
+	d.searchWin = int(searchWindowS * float64(fs))
+	d.alignAhead = int(alignAheadS * float64(fs))
+	d.slopeWin = int(0.075 * float64(fs))
+	d.learn = int(learnS * float64(fs))
+	if n := d.learn + d.alignAhead + 4; len(d.fbuf) < n {
+		d.fbuf = make([]int64, n)
+		d.ibuf = make([]int64, n)
+	}
+	d.t, d.cursor = 0, 1
+	d.seeded, d.done = false, false
+	d.maxI, d.sumI, d.maxF, d.sumF = 0, 0, 0, 0
+	d.lastQRS = -d.refractory - 1
+	d.lastSlope = 0
+	d.rrMean = float64(fs) * 0.8
+	d.rrLen, d.rrPos = 0, 0
+	d.pending = d.pending[:0]
+	d.det.Peaks = d.det.Peaks[:0]
+	d.det.MWIPeaks = d.det.MWIPeaks[:0]
+	d.det.Events = d.det.Events[:0]
+}
+
+// Push feeds one sample of the filtered and integrated signals (the pair
+// Detect consumes) and advances every decision whose lookahead is
+// complete. It must not be called after Finish without an intervening
+// Reset.
+func (d *StreamDetector) Push(filtered, integrated int64) {
+	if d.fs <= 0 {
+		return
+	}
+	if d.done {
+		panic("pantompkins: StreamDetector.Push after Finish (Reset first)")
+	}
+	r := len(d.fbuf)
+	d.fbuf[d.t%r] = filtered
+	d.ibuf[d.t%r] = integrated
+	d.t++
+	if !d.seeded {
+		// Threshold learning: the whole-record pass seeds its four running
+		// estimates from the first learn samples before any decision.
+		if v := float64(integrated); v > d.maxI {
+			d.maxI = v
+		}
+		d.sumI += float64(integrated)
+		if v := absf(filtered); v > d.maxF {
+			d.maxF = v
+		}
+		d.sumF += absf(filtered)
+		if d.t >= d.learn {
+			d.seed(d.learn)
+			d.advance(false)
+		}
+		return
+	}
+	d.advance(false)
+}
+
+// Finish flushes every decision held for lookahead — applying the
+// end-of-record window clamping of the whole-record pass — and returns
+// the final Detection. The result aliases the detector's buffers and is
+// valid until the next Reset. Finish is idempotent.
+func (d *StreamDetector) Finish() *Detection {
+	if d.fs <= 0 || d.done {
+		d.done = true
+		return &d.det
+	}
+	if d.t > 0 && !d.seeded {
+		// Stream shorter than the learning window: Detect learns from the
+		// whole record in that case.
+		d.seed(d.t)
+	}
+	if d.seeded {
+		d.advance(true)
+	}
+	d.done = true
+	return &d.det
+}
+
+// Detection returns the decisions made so far (beats whose lookahead is
+// complete). The result aliases the detector's buffers.
+func (d *StreamDetector) Detection() *Detection { return &d.det }
+
+// seed computes the initial signal/noise estimates from the learning
+// accumulators, exactly like the whole-record pass.
+func (d *StreamDetector) seed(learn int) {
+	d.spki = 0.4 * d.maxI
+	d.npki = 0.5 * d.sumI / float64(learn)
+	d.spkf = 0.4 * d.maxF
+	d.npkf = 0.5 * d.sumF / float64(learn)
+	d.seeded = true
+}
+
+// fAt / iAt read the ring buffers at an absolute sample index (which must
+// be within the live window).
+func (d *StreamDetector) fAt(j int) int64 { return d.fbuf[j%len(d.fbuf)] }
+func (d *StreamDetector) iAt(j int) int64 { return d.ibuf[j%len(d.ibuf)] }
+
+// advance examines candidates while their decision context is complete:
+// index i needs integrated[i+1] (the local-maximum test) and filtered up
+// to i+alignAhead (the peak search window); final mode clamps both to the
+// end of the record like the whole-record pass.
+func (d *StreamDetector) advance(final bool) {
+	n := d.t
+	for i := d.cursor; i <= n-2; i++ {
+		if !final && i+d.alignAhead > n-1 {
+			d.cursor = i
+			return
+		}
+		d.cursor = i + 1
+		if !(d.iAt(i-1) < d.iAt(i) && d.iAt(i) >= d.iAt(i+1)) {
+			continue
+		}
+		v := d.iAt(i)
+		if i-d.lastQRS <= d.refractory {
+			continue
+		}
+
+		// Locate the matching filtered peak near the MWI peak.
+		hi := i + d.alignAhead
+		if hi > n-1 {
+			hi = n - 1
+		}
+		fpos, fval := d.peakNear(i-d.searchWin, hi)
+		slope := d.slopeBefore(i)
+
+		// T-wave discrimination inside 360 ms of the previous QRS.
+		if d.lastQRS >= 0 && i-d.lastQRS <= d.tWaveWin {
+			if slope < 0.5*d.lastSlope {
+				d.npki = 0.125*float64(v) + 0.875*d.npki
+				d.npkf = 0.125*fval + 0.875*d.npkf
+				d.det.Events = append(d.det.Events, Event{Kind: EventTWave, Index: i, Filtered: fpos, Value: v})
+				continue
+			}
+		}
+
+		thrI := d.npki + 0.25*(d.spki-d.npki)
+		thrF := d.npkf + 0.25*(d.spkf-d.npkf)
+		if float64(v) > thrI && fval > thrF {
+			// Alignment cross-check (Fig 13), as in Detect.
+			if fpos > i || i-fpos >= d.searchWin {
+				d.det.Events = append(d.det.Events, Event{Kind: EventMisaligned, Index: i, Filtered: fpos, Value: v})
+				d.pending = append(d.pending, streamCand{i, v, fpos, fval, slope})
+				continue
+			}
+			d.accept(streamCand{i, v, fpos, fval, slope}, 0.125, EventAccepted)
+			continue
+		}
+
+		// Noise.
+		d.npki = 0.125*float64(v) + 0.875*d.npki
+		d.npkf = 0.125*fval + 0.875*d.npkf
+		d.det.Events = append(d.det.Events, Event{Kind: EventNoise, Index: i, Filtered: fpos, Value: v})
+		d.pending = append(d.pending, streamCand{i, v, fpos, fval, slope})
+
+		// Searchback for a missed beat. The lowered threshold reads the
+		// noise estimate just updated above, like the whole-record pass.
+		thrI = d.npki + 0.25*(d.spki-d.npki)
+		if d.lastQRS >= 0 && float64(i-d.lastQRS) > searchbackRR*d.rrMean {
+			bestIdx := -1
+			for pi, p := range d.pending {
+				if float64(p.val) > 0.5*thrI && p.fpos <= p.idx && p.idx-p.fpos < d.searchWin {
+					if bestIdx < 0 || p.val > d.pending[bestIdx].val {
+						bestIdx = pi
+					}
+				}
+			}
+			if bestIdx >= 0 {
+				d.accept(d.pending[bestIdx], 0.25, EventSearchback)
+			}
+		}
+	}
+	d.cursor = n - 1
+	if d.cursor < 1 {
+		d.cursor = 1
+	}
+}
+
+// accept records one detected QRS, mirroring Detect's accept closure; the
+// candidate carries its decision-time slope so old searchback candidates
+// need no ring access.
+func (d *StreamDetector) accept(c streamCand, weight float64, kind EventKind) {
+	d.spki = weight*float64(c.val) + (1-weight)*d.spki
+	d.spkf = weight*c.fval + (1-weight)*d.spkf
+	if d.lastQRS >= 0 {
+		d.rr[d.rrPos] = c.idx - d.lastQRS
+		d.rrPos = (d.rrPos + 1) % len(d.rr)
+		if d.rrLen < len(d.rr) {
+			d.rrLen++
+		}
+		total := 0
+		for _, v := range d.rr[:d.rrLen] {
+			total += v
+		}
+		d.rrMean = float64(total) / float64(d.rrLen)
+	}
+	d.lastQRS = c.idx
+	d.lastSlope = c.slope
+	raw := c.fpos - filterDelay
+	if raw < 0 {
+		raw = 0
+	}
+	d.det.Peaks = append(d.det.Peaks, raw)
+	d.det.MWIPeaks = append(d.det.MWIPeaks, c.idx)
+	d.det.Events = append(d.det.Events, Event{Kind: kind, Index: c.idx, Filtered: c.fpos, Value: c.val})
+	d.pending = d.pending[:0]
+}
+
+// peakNear returns the position and absolute value of the largest
+// filtered sample in [lo, hi], with Detect's tie-breaking (first maximum
+// wins) and clamping.
+func (d *StreamDetector) peakNear(lo, hi int) (int, float64) {
+	if lo < 0 {
+		lo = 0
+	}
+	best, bestV := lo, -1.0
+	for j := lo; j <= hi; j++ {
+		if v := absf(d.fAt(j)); v > bestV {
+			best, bestV = j, v
+		}
+	}
+	return best, bestV
+}
+
+// slopeBefore returns the maximum rising slope of the integrated signal
+// in the 75 ms window before idx, like the whole-record pass.
+func (d *StreamDetector) slopeBefore(idx int) float64 {
+	lo := idx - d.slopeWin
+	if lo < 1 {
+		lo = 1
+	}
+	maxS := 0.0
+	for j := lo; j <= idx; j++ {
+		if s := float64(d.iAt(j) - d.iAt(j-1)); s > maxS {
+			maxS = s
+		}
+	}
+	return maxS
+}

@@ -1,0 +1,241 @@
+package pantompkins
+
+import (
+	"testing"
+
+	"github.com/xbiosip/xbiosip/internal/approx"
+	"github.com/xbiosip/xbiosip/internal/dsp"
+	"github.com/xbiosip/xbiosip/internal/ecg"
+)
+
+// pushAll streams both detector inputs sample by sample and returns the
+// finished detection.
+func pushAll(d *StreamDetector, filtered, integrated []int64) *Detection {
+	for i := range integrated {
+		d.Push(filtered[i], integrated[i])
+	}
+	return d.Finish()
+}
+
+// requireSameDetection compares every field of two detections, including
+// the full event trace and its order.
+func requireSameDetection(t *testing.T, label string, want Detection, got *Detection) {
+	t.Helper()
+	if len(got.Peaks) != len(want.Peaks) || len(got.MWIPeaks) != len(want.MWIPeaks) || len(got.Events) != len(want.Events) {
+		t.Fatalf("%s: stream found %d/%d/%d peaks/MWI/events, Detect %d/%d/%d",
+			label, len(got.Peaks), len(got.MWIPeaks), len(got.Events),
+			len(want.Peaks), len(want.MWIPeaks), len(want.Events))
+	}
+	for i := range want.Peaks {
+		if got.Peaks[i] != want.Peaks[i] || got.MWIPeaks[i] != want.MWIPeaks[i] {
+			t.Fatalf("%s: peak %d = (%d,%d), Detect (%d,%d)", label, i,
+				got.Peaks[i], got.MWIPeaks[i], want.Peaks[i], want.MWIPeaks[i])
+		}
+	}
+	for i := range want.Events {
+		if got.Events[i] != want.Events[i] {
+			t.Fatalf("%s: event %d = %+v, Detect %+v", label, i, got.Events[i], want.Events[i])
+		}
+	}
+}
+
+// fig11SweepConfigs enumerates the configurations the Fig. 11 exploration
+// visits: for each stage-count prefix, every single-stage candidate of the
+// phase-wise Algorithm 1 over the default LSB lists with the paper's
+// module pair — a superset of any actual run's trace (the algorithm
+// explores a phase until its constraint filter stops it).
+func fig11SweepConfigs() []Config {
+	lsbs := map[Stage][]int{}
+	for _, s := range Stages {
+		var l []int
+		for k := MaxLSBs[s]; k >= 0; k -= 2 {
+			l = append(l, k)
+		}
+		lsbs[s] = l
+	}
+	seen := map[string]bool{}
+	var cfgs []Config
+	add := func(c Config) {
+		if key := c.String(); !seen[key] {
+			seen[key] = true
+			cfgs = append(cfgs, c)
+		}
+	}
+	add(AccurateConfig())
+	// Phase p approximates stage p on top of a base that fixes the best
+	// previous stages; sweeping each stage independently over its list
+	// (plus pairwise combinations of adjacent phases' picks) covers every
+	// candidate Algorithm 1 can visit without re-running the search.
+	for _, s := range Stages {
+		for _, k := range lsbs[s] {
+			var c Config
+			if k > 0 {
+				c.Stage[s] = dsp.ArithConfig{LSBs: k, Add: approx.ApproxAdd5, Mul: approx.AppMultV1}
+			}
+			add(c)
+		}
+	}
+	// Mixed multi-stage designs representative of accepted phase results
+	// (the paper's B-style vectors).
+	for _, ks := range [][NumStages]int{
+		{10, 12, 2, 8, 16},
+		{16, 16, 4, 8, 16},
+		{2, 2, 2, 2, 2},
+		{8, 0, 4, 0, 16},
+	} {
+		var c Config
+		for i, s := range Stages {
+			if ks[i] > 0 {
+				c.Stage[s] = dsp.ArithConfig{LSBs: ks[i], Add: approx.ApproxAdd5, Mul: approx.AppMultV1}
+			}
+		}
+		add(c)
+	}
+	return cfgs
+}
+
+// TestStreamDetectorMatchesDetectSweep proves the incremental detector
+// bit-identical to the whole-record Detect — peaks, MWI indices and the
+// complete event trace — on every bundled NSRDB record for the Fig. 11
+// sweep's configurations.
+func TestStreamDetectorMatchesDetectSweep(t *testing.T) {
+	configs := fig11SweepConfigs()
+	records := ecg.NumNSRDBRecords
+	samples := 2400
+	if testing.Short() {
+		records, samples = 4, 1600
+	}
+	var recs []*ecg.Record
+	for r := 0; r < records; r++ {
+		rec, err := ecg.NSRDBRecord(r, samples)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs = append(recs, rec)
+	}
+	var pd PeakDetector
+	for _, cfg := range configs {
+		p, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sd := NewStreamDetector(recs[0].FS)
+		var out Outputs
+		for _, rec := range recs {
+			p.RunInto(&out, rec.Samples)
+			want := pd.Detect(out.Filtered, out.Integrated, rec.FS)
+			sd.Reset()
+			got := pushAll(sd, out.Filtered, out.Integrated)
+			requireSameDetection(t, cfg.String()+"/"+rec.Name, *want, got)
+		}
+	}
+}
+
+// TestStreamMatchesProcess drives the full streaming path — raw samples
+// through Pipeline.Stream — and demands the detection equal the batch
+// Process result end to end.
+func TestStreamMatchesProcess(t *testing.T) {
+	rec := testRecord(t, 4000)
+	for name, cfg := range streamConfigs(t) {
+		t.Run(name, func(t *testing.T) {
+			p, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := p.Process(rec)
+
+			sp, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			st := sp.Stream(rec.FS)
+			for _, x := range rec.Samples {
+				st.Push(x)
+			}
+			requireSameDetection(t, name, want.Detection, st.Finish())
+		})
+	}
+}
+
+// TestStreamDetectorDegenerateInputs pins the degenerate-input contract
+// both detectors share: empty input, a single sample, a stream shorter
+// than the learning window, fs = 0 and mismatched-length batch inputs all
+// yield the same (empty or short-record) detection from Detect,
+// PeakDetector.Detect and StreamDetector.
+func TestStreamDetectorDegenerateInputs(t *testing.T) {
+	short := make([]int64, 120) // shorter than the 2 s learning window
+	for i := range short {
+		short[i] = int64((i % 7) * 100)
+	}
+	cases := []struct {
+		name                 string
+		filtered, integrated []int64
+		fs                   int
+		streamable           bool // expressible as a stream (equal lengths)
+	}{
+		{"nil-nil", nil, nil, 360, true},
+		{"empty", []int64{}, []int64{}, 360, true},
+		{"single-sample", []int64{42}, []int64{99}, 360, true},
+		{"two-samples", []int64{1, 2}, []int64{3, 4}, 360, true},
+		{"short-record", short, short, 360, true},
+		{"fs-zero", short, short, 0, true},
+		{"fs-negative", short, short, -5, true},
+		{"mismatched", short, short[:50], 360, false},
+	}
+	var pd PeakDetector
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			want := Detect(tc.filtered, tc.integrated, tc.fs)
+			reused := pd.Detect(tc.filtered, tc.integrated, tc.fs)
+			requireSameDetection(t, "PeakDetector", want, reused)
+			if !tc.streamable {
+				// Mismatched lengths cannot arise on the streaming API;
+				// the batch detectors define them as an empty detection.
+				if len(want.Peaks) != 0 || len(want.Events) != 0 {
+					t.Fatalf("mismatched-length Detect returned %d peaks, want empty", len(want.Peaks))
+				}
+				return
+			}
+			sd := NewStreamDetector(tc.fs)
+			got := pushAll(sd, tc.filtered, tc.integrated)
+			requireSameDetection(t, "StreamDetector", want, got)
+			// Finish is idempotent and Reset restarts cleanly.
+			requireSameDetection(t, "StreamDetector/Finish-again", want, sd.Finish())
+			sd.Reset()
+			requireSameDetection(t, "StreamDetector/after-Reset", want, pushAll(sd, tc.filtered, tc.integrated))
+		})
+	}
+}
+
+// TestStreamDetectorLiveView checks the partial Detection view never
+// reports a beat the whole-record pass would not: every prefix of the
+// streamed decisions is a prefix of the final ones.
+func TestStreamDetectorLiveView(t *testing.T) {
+	rec := testRecord(t, 3000)
+	p, err := New(streamConfigs(t)["b9-mixed"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := p.Run(rec.Samples)
+	want := Detect(out.Filtered, out.Integrated, rec.FS)
+
+	sd := NewStreamDetector(rec.FS)
+	seen := 0
+	for i := range out.Filtered {
+		sd.Push(out.Filtered[i], out.Integrated[i])
+		live := sd.Detection()
+		if len(live.Peaks) < seen {
+			t.Fatalf("live peak count shrank at sample %d", i)
+		}
+		seen = len(live.Peaks)
+		if len(live.Peaks) > len(want.Peaks) {
+			t.Fatalf("live view reports %d peaks, final detection has %d", len(live.Peaks), len(want.Peaks))
+		}
+		for j := 0; j < len(live.Peaks); j++ {
+			if live.Peaks[j] != want.Peaks[j] {
+				t.Fatalf("live peak %d = %d, want %d", j, live.Peaks[j], want.Peaks[j])
+			}
+		}
+	}
+	sd.Finish()
+}
