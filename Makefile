@@ -1,19 +1,26 @@
 # Developer and CI entry points. `make ci` is the gate: build, vet,
 # race-clean tests (which include the kernel-vs-reference equivalence
 # suite), the same equivalence suite with the word-parallel kernels
-# force-disabled (the bit-serial oracle path), benchmark smoke passes in
-# both modes, and a benchdiff smoke run over the checked-in snapshot.
+# force-disabled (the bit-serial oracle path, including the scalar
+# activity simulator), benchmark smoke passes in both modes, focused
+# -race passes over the two global caches' concurrent cold builds, and a
+# benchdiff smoke run over the checked-in snapshot.
 
 GO ?= go
 
 # Benchmarks captured by `make bench-json` into BENCH_N.json snapshots.
-BENCH_JSON_PATTERN = KernelVsReference|PipelinePush|DSEWorkers|EvaluatorShards|Fig11ExplorationTime|Table2PreprocessingGrid
+BENCH_JSON_PATTERN = KernelVsReference|PipelinePush|DSEWorkers|EvaluatorShards|Fig11ExplorationTime|Table2PreprocessingGrid|EnergyCharacterization|Activity
+# Packages the bench-json pattern runs over.
+BENCH_JSON_PKGS = . ./internal/arith/kernel ./internal/netlist
 # Current snapshot file; bump per PR so the trajectory stays diffable.
-BENCH_SNAPSHOT = BENCH_4.json
+BENCH_SNAPSHOT = BENCH_5.json
 # Previous snapshot `make bench-diff` gates against.
-BENCH_BASELINE = BENCH_3.json
+BENCH_BASELINE = BENCH_4.json
+# Benchmarks that must exist in the current snapshot (catches a pattern
+# or harness regression silently dropping the new energy benchmarks).
+BENCH_REQUIRE = EnergyCharacterization/cold|Table2PreprocessingGrid/scratch|Activity/lanes
 
-.PHONY: all build vet test race race-arith test-reference bench bench-reference bench-json bench-diff bench-diff-smoke ci
+.PHONY: all build vet test race race-arith race-energy test-reference bench bench-reference bench-json bench-diff bench-diff-smoke ci
 
 all: build
 
@@ -36,42 +43,51 @@ race:
 race-arith:
 	$(GO) test -race -count=1 ./internal/arith/...
 
+# Same treatment for the energy characterization cache: concurrent cold
+# characterizations of one (stage, config) set must share first-inserted
+# entries.
+race-energy:
+	$(GO) test -race -count=1 ./internal/energy
+
 # The kernel equivalence tests and the packages threaded through the
 # compiled kernels, re-run with XBIOSIP_NO_KERNELS so every plan delegates
-# to the bit-serial reference models: keeps the oracle path green.
+# to the bit-serial reference models and the activity engine to the scalar
+# oracle: keeps both oracle paths green.
 test-reference:
-	XBIOSIP_NO_KERNELS=1 $(GO) test -count=1 -race ./internal/arith/kernel ./internal/dsp ./internal/pantompkins
+	XBIOSIP_NO_KERNELS=1 $(GO) test -count=1 -race ./internal/arith/kernel ./internal/dsp ./internal/pantompkins ./internal/netlist ./internal/energy
 
 # One iteration of every benchmark: regenerates each table/figure once and
 # exercises the parallel DSE engine and the kernel-vs-reference
 # micro-benchmarks without taking benchmark-grade time.
 bench:
-	$(GO) test -bench=. -benchmem -benchtime=1x -run '^$$' . ./internal/arith/kernel
+	$(GO) test -bench=. -benchmem -benchtime=1x -run '^$$' . ./internal/arith/kernel ./internal/netlist
 
 # The kernel-sensitive benchmarks with kernels force-disabled — a smoke
 # pass proving the oracle path still drives the full simulation stack.
 bench-reference:
-	XBIOSIP_NO_KERNELS=1 $(GO) test -bench '(KernelVsReference|PipelinePush)' -benchmem -benchtime=1x -run '^$$' . ./internal/arith/kernel
+	XBIOSIP_NO_KERNELS=1 $(GO) test -bench '(KernelVsReference|PipelinePush|Activity)' -benchmem -benchtime=1x -run '^$$' . ./internal/arith/kernel ./internal/netlist
 
-# Record the performance trajectory: run the DSE/pipeline/kernel
+# Record the performance trajectory: run the DSE/pipeline/kernel/energy
 # benchmarks at full benchtime and snapshot name -> ns/op (+allocs) JSON,
 # so future PRs can diff against the checked-in snapshots.
 bench-json:
-	$(GO) test -bench '($(BENCH_JSON_PATTERN))' -benchmem -run '^$$' . ./internal/arith/kernel > bench.out.tmp
+	$(GO) test -bench '($(BENCH_JSON_PATTERN))' -benchmem -run '^$$' $(BENCH_JSON_PKGS) > bench.out.tmp
 	$(GO) run ./cmd/benchjson < bench.out.tmp > $(BENCH_SNAPSHOT)
 	rm -f bench.out.tmp
 
 # Compare the current snapshot against the previous one and fail on >15%
-# regression of any tracked benchmark's ns/op, bytes/op or allocs/op.
+# regression of any tracked benchmark's ns/op, bytes/op or allocs/op, or
+# if a required benchmark is missing from the current snapshot.
 # Snapshots are only comparable when taken on the same machine — run
 # `make bench-json` against both revisions locally before trusting a
 # failure.
 bench-diff:
-	$(GO) run ./cmd/benchdiff -threshold 0.15 -bytes-threshold 0.15 -allocs-threshold 0.15 $(BENCH_BASELINE) $(BENCH_SNAPSHOT)
+	$(GO) run ./cmd/benchdiff -threshold 0.15 -bytes-threshold 0.15 -allocs-threshold 0.15 -require '$(BENCH_REQUIRE)' $(BENCH_BASELINE) $(BENCH_SNAPSHOT)
 
 # CI smoke: self-compare the checked-in snapshot so the tool's parsing,
-# matching and gating run on every CI pass without cross-machine noise.
+# matching, gating and -require checks run on every CI pass without
+# cross-machine noise.
 bench-diff-smoke:
-	$(GO) run ./cmd/benchdiff -threshold 0.15 -bytes-threshold 0.15 -allocs-threshold 0.15 $(BENCH_SNAPSHOT) $(BENCH_SNAPSHOT) > /dev/null
+	$(GO) run ./cmd/benchdiff -threshold 0.15 -bytes-threshold 0.15 -allocs-threshold 0.15 -require '$(BENCH_REQUIRE)' $(BENCH_SNAPSHOT) $(BENCH_SNAPSHOT) > /dev/null
 
-ci: build vet race race-arith test-reference bench bench-reference bench-diff-smoke
+ci: build vet race race-arith race-energy test-reference bench bench-reference bench-diff-smoke

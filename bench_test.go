@@ -118,12 +118,20 @@ func BenchmarkFig10OutputQuality(b *testing.B) {
 
 // BenchmarkTable2PreprocessingGrid regenerates Table 2 (PSNR and energy of
 // the LPF x HPF design grid, exhaustive 81 points plus the Algorithm 1
-// trace). The warm variant shares one evaluation environment across
-// iterations, so after the first pass every design is a cache hit and the
-// number measures the engine's memoized steady state; the cold variant
-// rebuilds the evaluator AND empties the kernel's global plan/table cache
-// per iteration, so every table build and every simulation is paid inside
-// the timed region — the true cost of exploring the grid from scratch.
+// trace). Three cache regimes:
+//
+//   - warm shares one evaluation environment across iterations, so after
+//     the first pass every design is a cache hit and the number measures
+//     the engine's memoized steady state;
+//   - cold rebuilds the evaluator AND empties the kernel's global
+//     plan/table cache per iteration, so every table build and every
+//     simulation is paid inside the timed region. The process-wide energy
+//     characterization cache intentionally survives — a characterization
+//     is a pure function of (stage, config, stimulus), and sharing it
+//     across evaluators is exactly the amortization the cache exists for;
+//   - scratch additionally empties the characterization cache, the honest
+//     everything-from-zero cost (every stage netlist re-synthesized and
+//     re-simulated through the lane-packed activity engine).
 func BenchmarkTable2PreprocessingGrid(b *testing.B) {
 	run := func(b *testing.B, s *experiments.Setup) {
 		r, err := s.Table2(15)
@@ -150,6 +158,63 @@ func BenchmarkTable2PreprocessingGrid(b *testing.B) {
 			run(b, s)
 		}
 	})
+	b.Run("scratch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			s, err := experiments.NewSetup(1, 6000)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			kernel.DropCaches()
+			energy.DropCaches()
+			run(b, s)
+		}
+	})
+}
+
+// BenchmarkEnergyCharacterization measures the cold energy model on its
+// own: characterizing every stage at a representative approximation depth
+// from an empty characterization cache (synthesize, lane-packed activity
+// simulation, activity-weighted report), plus the all-hits warm lookup.
+func BenchmarkEnergyCharacterization(b *testing.B) {
+	rec, err := ecg.NSRDBRecord(0, 6000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	stim, err := energy.NewStimulus(rec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	em := energy.NewModel(stim)
+	var b9 pantompkins.Config
+	for i, s := range pantompkins.Stages {
+		b9.Stage[s] = dsp.ArithConfig{
+			LSBs: []int{10, 12, 2, 8, 16}[i],
+			Add:  approx.ApproxAdd5,
+			Mul:  approx.AppMultV1,
+		}
+	}
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			energy.DropCaches()
+			if _, err := em.PipelineReduction(b9); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		if _, err := em.PipelineReduction(b9); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := em.PipelineReduction(b9); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	energy.DropCaches()
 }
 
 // BenchmarkFig11ExplorationTime regenerates Fig 11 (exploration time of

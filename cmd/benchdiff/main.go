@@ -3,7 +3,8 @@
 // benchmark regressed beyond a threshold:
 //
 //	go run ./cmd/benchdiff [-threshold 0.15] [-bytes-threshold 0.15]
-//	    [-allocs-threshold 0.15] [-match regex] old.json new.json
+//	    [-allocs-threshold 0.15] [-match regex] [-require regex]
+//	    old.json new.json
 //
 // Every benchmark present in both snapshots (and matching -match, if
 // given) is compared by ns/op, bytes/op and allocs/op; a regression
@@ -13,7 +14,10 @@
 // snapshots recorded them, and small absolute drifts (64 B, 2 allocs) are
 // ignored so near-zero baselines cannot trip the relative gate.
 // Benchmarks present in only one snapshot are reported but never fail the
-// run (suites grow).
+// run (suites grow) — except that every alternative of the -require
+// regex (split on |) must match at least one benchmark in the NEW
+// snapshot, so a newly added benchmark family cannot silently fall out
+// of the recorded set.
 package main
 
 import (
@@ -23,6 +27,7 @@ import (
 	"os"
 	"regexp"
 	"sort"
+	"strings"
 )
 
 // result mirrors cmd/benchjson's per-benchmark schema.
@@ -70,9 +75,10 @@ func main() {
 	bytesThreshold := flag.Float64("bytes-threshold", 0.15, "maximum tolerated bytes/op regression as a fraction")
 	allocsThreshold := flag.Float64("allocs-threshold", 0.15, "maximum tolerated allocs/op regression as a fraction")
 	match := flag.String("match", "", "only compare benchmarks whose name matches this regexp (default: all)")
+	require := flag.String("require", "", "|-separated regexps that must each match a benchmark in the new snapshot")
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold f] [-bytes-threshold f] [-allocs-threshold f] [-match regex] old.json new.json")
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold f] [-bytes-threshold f] [-allocs-threshold f] [-match regex] [-require regex] old.json new.json")
 		os.Exit(2)
 	}
 	fail := func(err error) {
@@ -146,6 +152,24 @@ func main() {
 	}
 	if compared == 0 {
 		fail(fmt.Errorf("no benchmarks in common between %s and %s (match %q)", oldPath, newPath, *match))
+	}
+	if *require != "" {
+		for _, alt := range strings.Split(*require, "|") {
+			altRe, err := regexp.Compile(alt)
+			if err != nil {
+				fail(err)
+			}
+			found := false
+			for name := range newR {
+				if altRe.MatchString(name) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				fail(fmt.Errorf("required benchmark %q missing from %s", alt, newPath))
+			}
+		}
 	}
 	if len(regressions) > 0 {
 		fmt.Fprintf(os.Stderr, "benchdiff: %d metric(s) regressed beyond their threshold:\n", len(regressions))

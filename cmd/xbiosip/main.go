@@ -23,6 +23,7 @@ import (
 	"github.com/xbiosip/xbiosip/internal/arith/kernel"
 	"github.com/xbiosip/xbiosip/internal/core"
 	"github.com/xbiosip/xbiosip/internal/dsp"
+	"github.com/xbiosip/xbiosip/internal/energy"
 	"github.com/xbiosip/xbiosip/internal/experiments"
 	"github.com/xbiosip/xbiosip/internal/pantompkins"
 	"github.com/xbiosip/xbiosip/internal/synth"
@@ -51,9 +52,9 @@ func main() {
 	}
 }
 
-// printKernelStats reports the simulator's kernel working set: the live
-// plan/table cache, tiered the way future PRs should track it (like
-// ns/op, but bytes).
+// printKernelStats reports the simulator's kernel working set — the live
+// plan/table cache and the energy characterization cache — tiered the way
+// future PRs should track it (like ns/op, but bytes).
 func printKernelStats() {
 	st := kernel.CacheStats()
 	fmt.Printf("kernel cache: %d adder plans, %d multiplier plans, %d const-mul tables, %d square tables, %d chain projections\n",
@@ -61,6 +62,9 @@ func printKernelStats() {
 	fmt.Printf("kernel tables: %.1f KiB live (%.1f KiB sub-product, %.1f KiB full, %.1f KiB chain projections)\n",
 		float64(st.TableBytes)/1024, float64(st.SubProductBytes)/1024,
 		float64(st.FullTableBytes)/1024, float64(st.ChainProjBytes)/1024)
+	est := energy.CacheStats()
+	fmt.Printf("energy characterizations: %d cached (stage, config) pairs, %d netlist cells, %.1f KiB activity; %d hits, %d builds\n",
+		est.Entries, est.Cells, float64(est.ActivityBytes)/1024, est.Hits, est.Misses)
 }
 
 // designFootprint prints one design's live kernel table bytes.

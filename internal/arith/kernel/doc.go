@@ -100,13 +100,15 @@
 // once, so the sub-product tier does not apply: exact specs are
 // table-free, everything else keeps an int32 (or int64) full table.
 //
-// # Chain projections, sliding windows and MAC fusion
+// # Chain projections, sliding windows, MAC fusion and lazy raw tables
 //
 // The batched chains layer two more compiled projections on top of the
 // tiers. For the wiring adders (AMA4/AMA5) the closed form sums, per tap,
-// only an upper slice of the product plus a carry bit; chainProj bakes
-// that whole term into a 2^Width x uint32 projection table per
-// (table, polarity, k), making each projected tap one load and one add.
+// only an upper slice of the product plus a carry bit; buildChainProj
+// bakes that whole term into a 2^Width projection table per
+// (coefficient, polarity, k) — uint16 entries whenever every term fits,
+// which k >= 16 guarantees (halving the footprint per chain polarity),
+// uint32 otherwise — making each projected tap one load and one add.
 // And because those terms add in plain modular arithmetic, a long run of
 // taps sharing one projection over contiguous lags — the 32-tap high-pass
 // shape — collapses to an O(1) sliding window per sample (add the
@@ -115,6 +117,18 @@
 // exact in-range products, sliced products equal plain integer products
 // and native accumulation is associative, so the whole chain is one
 // multiply-accumulate loop with the coefficients' signs folded in.
+//
+// Projections build straight from the compiled plan's product closure
+// (productFn, sign-halved, with the root's accumulation adders
+// devirtualized), so a projected tap never needs its raw 2^Width table.
+// NewChain exploits that by materializing raw ConstMulTables only for
+// the taps its strategy actually reads products from: every tap of the
+// generic/native/chunk strategies, just the boundary taps of a wiring
+// chain (the AMA5 last operand / AMA4 opening accumulator), none of a
+// fused chain. A batch-only workload — the design-space exploration —
+// therefore never builds the interior taps' 256 KiB tables; the
+// per-sample FIR path (dsp.FIR.Process) materializes its tables on first
+// use instead.
 //
 // CacheStats reports the live bytes of every tier (and DropCaches empties
 // the caches for cold-build benchmarks), so the working set is tracked

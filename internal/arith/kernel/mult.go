@@ -278,6 +278,105 @@ func (m *Multiplier) constMulFunc(lo, hi []uint32, negC bool) func(int64) int64 
 	}
 }
 
+// productFn compiles the signed constant-product closure for coefficient
+// c without materializing any full table: exact plans multiply natively,
+// composite plans combine two small sub-product tables per call (with the
+// root's accumulation adders devirtualized, see combineFn), and
+// everything else walks the plan (or, in oracle mode, the bit-serial
+// reference). It reproduces MulSigned(x, c) bit for bit — in particular
+// it is odd, f(-x) == -f(x), the property the sign-halved enumerations
+// rely on — and is what the wiring-chain projection builder enumerates,
+// the reason a projected tap's 2^Width raw table never needs to exist.
+func (m *Multiplier) productFn(c int64) func(int64) int64 {
+	negC := c < 0
+	cm := uint64(c)
+	if negC {
+		cm = uint64(-c)
+	}
+	cm &= m.opMask
+	switch {
+	case m.exact:
+		return exactConstMul(m.spec.Width, cm, negC)
+	case m.decompExact():
+		lo, hi := m.subProductTables(cm)
+		return m.constMulFunc(lo, hi, negC)
+	case m.composite():
+		lo, hi := m.subProductTables(cm)
+		core := m.combineFn(lo, hi)
+		opMask := m.opMask
+		sign := uint(m.spec.Width - 1)
+		var cneg uint64
+		if negC {
+			cneg = ^uint64(0)
+		}
+		return func(x int64) int64 {
+			mag, sgn := signMag(uint64(x)&opMask, opMask, sign)
+			p := core(mag)
+			flip := int64(sgn ^ cneg)
+			return (p ^ flip) - flip
+		}
+	default:
+		return func(x int64) int64 { return m.MulSigned(x, c) }
+	}
+}
+
+// combineFn compiles the magnitude-core closure over one coefficient's
+// sub-product tables: combineCore with the root's two accumulation adders
+// devirtualized where they have closed forms — native addition and the
+// wiring kinds AMA4/AMA5 (the paper's evaluation sweep) run inline, other
+// kinds go through the compiled closures. Enumeration-heavy builders
+// (full product tables, chain projections) call it 2^(Width-1) times per
+// coefficient, so the saved indirect calls are the build cost.
+func (m *Multiplier) combineFn(lo, hi []uint32) func(mag uint64) int64 {
+	n := m.root
+	h := uint(n.h)
+	hm := n.hMask
+	w2 := uint(n.w)
+	pm := n.prodMask & m.prodMask
+	opMask := m.opMask
+	width := 2 * m.spec.Width
+	sx := uint(64 - width)
+	addMid := adderAddFn(n.addMid)
+	addLo := adderAddFn(n.addLo)
+	return func(mag uint64) int64 {
+		a := mag & opMask
+		le := lo[a&hm]
+		he := hi[a>>h]
+		mid := addMid(uint64(he&0xffff), uint64(le>>16))
+		s := addLo(uint64(le&0xffff), mid<<h)
+		s = addLo(s, uint64(he>>16)<<w2)
+		return sext(s&pm, sx)
+	}
+}
+
+// adderAddFn returns a carry-free Add for one accumulation adder,
+// inlining the closed forms of the exact and wiring kinds; everything
+// else delegates to the plan's compiled strategy closure.
+func adderAddFn(ad *Adder) func(a, b uint64) uint64 {
+	w := ad.spec.Width
+	mW := mask(w)
+	if ad.exact {
+		return func(a, b uint64) uint64 { return (a + b) & mW }
+	}
+	if k := effectiveLSBs(ad.spec); ad.enabled && k >= 1 &&
+		(ad.spec.Kind == approx.ApproxAdd4 || ad.spec.Kind == approx.ApproxAdd5) {
+		mk := mask(k)
+		ku := uint(k)
+		inv := ad.spec.Kind == approx.ApproxAdd4
+		return func(a, b uint64) uint64 {
+			a &= mW
+			b &= mW
+			low := b & mk
+			if inv {
+				low = ^a & mk
+			}
+			hi := a>>ku + b>>ku + (a>>(ku-1))&1
+			return (low | hi<<ku) & mW
+		}
+	}
+	return ad.Add
+}
+
 // eval walks the plan; operands are w-bit.
 func (n *mulNode) eval(a, b uint64) uint64 {
 	if n.exact {

@@ -21,17 +21,70 @@ import (
 // byte-wide table access per operation, so the paper's configurations
 // (k <= 16) cost at most two lookups per accumulate.
 //
+// Chains also own the decision of which product representations exist at
+// all: a tap the strategy reads only through a wiring-chain projection
+// never materializes its 2^Width raw product table (NewChain builds the
+// projection straight from the compiled multiplier plan), so a batch-only
+// workload — the design-space exploration — keeps just the boundary taps'
+// raw tables. See dsp.FIR for the per-sample side of that laziness.
+//
 // Every slice kernel is bit-identical to folding the corresponding scalar
 // operations over the vector; slice_test.go checks all cell kinds in both
 // compilation modes.
 
-// ChainOp describes one tap of an accumulation chain: the product table of
-// the tap's coefficient, the delay-line age of the sample it consumes, and
-// whether the product is subtracted (negative coefficient).
+// ChainOp describes one tap of an accumulation chain: the fixed signed
+// coefficient of the tap's product, the delay-line age of the sample it
+// consumes, and whether the product is subtracted through the adder
+// datapath (a negative filter coefficient).
 type ChainOp struct {
-	Tab *ConstMulTable
-	Lag int
-	Sub bool
+	Coeff int64
+	Lag   int
+	Sub   bool
+}
+
+// ProjTable is one cached wiring-chain projection (see buildChainProj):
+// entry x holds a tap's whole upper-slice term. Entries are stored as
+// uint16 when every term fits — k >= 16 approximated LSBs guarantee it
+// (terms are bounded by 2^(w-k) shifted slices of the w-bit accumulator),
+// halving the footprint per chain polarity — and uint32 otherwise.
+// Exactly one tier is set.
+type ProjTable struct {
+	u16 []uint16
+	u32 []uint32
+}
+
+// valid reports whether the handle references a table at all.
+func (p ProjTable) valid() bool { return p.u16 != nil || p.u32 != nil }
+
+// at returns entry i — the construction-time accessor. The strategy loops
+// do not call it: they test the tier once per table and keep the load
+// inline (see wiringChain and slidingWiring), so the halved footprint
+// costs one perfectly-predicted branch instead of a function call.
+func (p ProjTable) at(i uint64) uint64 {
+	if p.u16 != nil {
+		return uint64(p.u16[i])
+	}
+	return uint64(p.u32[i])
+}
+
+// Entries returns the number of table entries.
+func (p ProjTable) Entries() int {
+	if p.u16 != nil {
+		return len(p.u16)
+	}
+	return len(p.u32)
+}
+
+// Bytes returns the live storage of the projection in bytes.
+func (p ProjTable) Bytes() int64 { return int64(len(p.u16))*2 + int64(len(p.u32))*4 }
+
+// Same reports whether two handles reference one cached table (pointer
+// identity, the key callers dedup footprint accounting by).
+func (p ProjTable) Same(q ProjTable) bool {
+	if p.u16 != nil || q.u16 != nil {
+		return p.u16 != nil && q.u16 != nil && &p.u16[0] == &q.u16[0]
+	}
+	return p.u32 != nil && q.u32 != nil && &p.u32[0] == &q.u32[0]
 }
 
 // chainOp is the compiled form of one tap. The product is evaluated
@@ -39,13 +92,16 @@ type ChainOp struct {
 // first: proj is the wiring-chain upper-slice projection (one load + one
 // add per tap, see wiringChain), tab32 the full table inline, mul the
 // fallback closure (table-free exact tier, decomposed tier, int64
-// tables). c carries the signed coefficient for the fused exact-MAC
-// strategy; neg is the subtract flag lowered to the operand XOR mask /
-// carry-in the strategy loops consume branch-free.
+// tables). tab is the raw-table handle for footprint accounting (nil for
+// projected taps, whose raw tables are never built). c carries the signed
+// coefficient for the fused exact-MAC strategy; neg is the subtract flag
+// lowered to the operand XOR mask / carry-in the strategy loops consume
+// branch-free.
 type chainOp struct {
-	proj  []uint32
+	proj  ProjTable
 	tab32 []int32
 	mul   func(int64) int64
+	tab   *ConstMulTable
 	c     int64
 	mask  uint64
 	neg   uint64 // 0 for add, ^0 for subtract (operand inversion + carry)
@@ -71,32 +127,42 @@ type Chain struct {
 // kernel share one fusibility decision.
 func (c *Chain) Fused() bool { return c.fused }
 
-// NewChain compiles the accumulation chain for the given taps. The first
-// tap starts each sample's chain (its product is copied, or subtracted
-// from zero, rather than added), exactly like the scalar accumulation.
+// NewChain compiles the accumulation chain of the given taps, all
+// multiplying through spec. The first tap starts each sample's chain (its
+// product is copied, or subtracted from zero, rather than added), exactly
+// like the scalar accumulation.
 //
 // Two chain-level fusions happen here. A fully exact chain (exact adder,
-// every tap on the table-free exact tier with an in-range coefficient)
-// collapses to native multiply-accumulate: the sliced product of a
-// Width-bit operand with |c| < 2^(Width-1) is the plain integer product,
-// and native accumulation is associative modulo the accumulator width, so
-// the whole chain is one MAC loop — bit-identical and table-free. For the
-// wiring adders (AMA4/AMA5) every tap that contributes only its upper
-// slice gets a projection table: the per-tap term
-// (ub >> k) + carry collapses to one uint32 load (see wiringChain and
-// chainProj).
-func (ad *Adder) NewChain(ops []ChainOp) *Chain {
+// exact multiplier plan, every coefficient in range) collapses to native
+// multiply-accumulate: the sliced product of a Width-bit operand with
+// |c| < 2^(Width-1) is the plain integer product, and native accumulation
+// is associative modulo the accumulator width, so the whole chain is one
+// MAC loop — bit-identical and table-free. For the wiring adders
+// (AMA4/AMA5) every tap that contributes only its upper slice gets a
+// projection table: the per-tap term (ub >> k) + carry collapses to one
+// load (see wiringChain and buildChainProj).
+//
+// Raw product tables materialize only for the taps the chosen strategy
+// reads products from — every tap of the generic/native/chunk strategies,
+// just the boundary taps of a wiring chain, none of a fused one.
+func (ad *Adder) NewChain(spec arith.Multiplier, ops []ChainOp) (*Chain, error) {
 	c := &Chain{ad: ad, fn: ad.chain}
+	if len(ops) == 0 {
+		return c, nil
+	}
+	m, err := CachedMultiplier(spec)
+	if err != nil {
+		return nil, err
+	}
 	c.ops = make([]chainOp, 0, len(ops))
-	mac := ad.exact && len(ops) > 0
+	mac := ad.exact
 	for _, op := range ops {
-		t := op.Tab
-		co := chainOp{tab32: t.tab32, mul: t.fn, mask: t.opMask, c: t.coeff, lag: op.Lag}
+		co := chainOp{c: op.Coeff, mask: m.opMask, lag: op.Lag}
 		if op.Sub {
 			co.neg = ^uint64(0)
 			co.c = -co.c
 		}
-		if !t.exact || t.coeff < 0 || t.coeff >= int64(1)<<(t.spec.Width-1) {
+		if !m.exact || op.Coeff < 0 || op.Coeff >= int64(1)<<(spec.Width-1) {
 			mac = false
 		}
 		c.ops = append(c.ops, co)
@@ -104,30 +170,34 @@ func (ad *Adder) NewChain(ops []ChainOp) *Chain {
 	if mac {
 		c.fn = macChain(ad.spec.Width)
 		c.fused = true
-		return c
+		return c, nil
 	}
-	if ad.enabled && !ad.exact && (ad.spec.Kind == approx.ApproxAdd4 || ad.spec.Kind == approx.ApproxAdd5) {
-		invA := ad.spec.Kind == approx.ApproxAdd4
-		k := effectiveLSBs(ad.spec)
-		last := len(c.ops) - 1
-		for o := range c.ops {
-			if last == 0 {
-				break // single-tap chain: the opening accumulator is the result
-			}
-			if invA && o == 0 {
-				continue // AMA4 derives the low region from the raw opening accumulator
-			}
-			if !invA && o == last {
-				continue // AMA5 keeps the last operand's low region, needs it raw
-			}
-			op := &c.ops[o]
-			op.proj = chainProj(ops[o].Tab, ad.spec.Width, k, op.neg != 0, !invA)
+	invA := ad.spec.Kind == approx.ApproxAdd4
+	wiring := ad.enabled && !ad.exact && (invA || ad.spec.Kind == approx.ApproxAdd5)
+	k := effectiveLSBs(ad.spec)
+	last := len(c.ops) - 1
+	for o := range c.ops {
+		op := &c.ops[o]
+		// AMA4 derives the low region from the raw opening accumulator;
+		// AMA5 keeps the last operand's low region, needs it raw. A
+		// single-tap chain's opening accumulator is the result.
+		projected := wiring && last != 0 && (invA && o != 0 || !invA && o != last)
+		if projected {
+			op.proj = cachedChainProj(m, ops[o].Coeff, ad.spec.Width, k, op.neg != 0, !invA)
+			continue
 		}
+		t, err := CachedConstMulTable(spec, ops[o].Coeff)
+		if err != nil {
+			return nil, err
+		}
+		op.tab, op.tab32, op.mul = t, t.tab32, t.fn
+	}
+	if wiring {
 		if plan, ok := slidePlanFor(c, invA); ok {
 			c.fn = slidingWiring(ad.spec.Width, k, invA, plan)
 		}
 	}
-	return c
+	return c, nil
 }
 
 // slidePlan drives the sliding-window evaluation of a wiring chain's
@@ -138,7 +208,7 @@ func (ad *Adder) NewChain(ops []ChainOp) *Chain {
 // individually — the 32-tap high-pass shape goes from 31 projection loads
 // per sample to two window updates plus one correction.
 type slidePlan struct {
-	tab   []uint32 // majority projection table
+	tab   ProjTable // majority projection table
 	mask  uint64
 	a, b  int   // contiguous lag range the window covers
 	corr  []int // op indices inside [a..b] projecting through another table
@@ -162,17 +232,17 @@ func slidePlanFor(c *Chain, invA bool) (slidePlan, bool) {
 	// The majority table is found by linear scans over the handful of
 	// distinct projections (a chain has one table per distinct coefficient
 	// polarity), keeping construction allocation-light.
-	var distinct [8][]uint32
+	var distinct [8]ProjTable
 	var counts [8]int
 	nd := 0
 	for o := lo; o <= hi; o++ {
 		op := &c.ops[o]
-		if op.proj == nil || op.mask != c.ops[lo].mask || op.lag != c.ops[lo].lag+(o-lo) {
+		if !op.proj.valid() || op.mask != c.ops[lo].mask || op.lag != c.ops[lo].lag+(o-lo) {
 			return slidePlan{}, false
 		}
 		found := false
 		for d := 0; d < nd; d++ {
-			if &distinct[d][0] == &op.proj[0] {
+			if distinct[d].Same(op.proj) {
 				counts[d]++
 				found = true
 				break
@@ -198,7 +268,7 @@ func slidePlanFor(c *Chain, invA bool) (slidePlan, bool) {
 	}
 	plan := slidePlan{tab: distinct[best], mask: c.ops[lo].mask, a: c.ops[lo].lag, b: c.ops[hi].lag, terms: n}
 	for o := lo; o <= hi; o++ {
-		if &c.ops[o].proj[0] != &plan.tab[0] {
+		if !c.ops[o].proj.Same(plan.tab) {
 			plan.corr = append(plan.corr, o)
 		}
 	}
@@ -208,8 +278,17 @@ func slidePlanFor(c *Chain, invA bool) (slidePlan, bool) {
 // slidingWiring is wiringChain with the projected taps evaluated through
 // the sliding window of a slidePlan; bit-identical because the projected
 // terms sum in plain modular arithmetic (see wiringChain for the closed
-// form and chainProj for the terms).
+// form and buildChainProj for the terms). The loop is stenciled per
+// majority-table entry width, so the uint16 tier costs no per-sample
+// branches on the window loads.
 func slidingWiring(w, k int, invA bool, plan slidePlan) chainFunc {
+	if plan.tab.u16 != nil {
+		return slidingWiringT(w, k, invA, plan, plan.tab.u16)
+	}
+	return slidingWiringT(w, k, invA, plan, plan.tab.u32)
+}
+
+func slidingWiringT[T uint16 | uint32](w, k int, invA bool, plan slidePlan, tab []T) chainFunc {
 	mW := mask(w)
 	mk := mask(k)
 	ku := uint(k)
@@ -217,12 +296,10 @@ func slidingWiring(w, k int, invA bool, plan slidePlan) chainFunc {
 		ops := c.ops
 		ad := c.ad
 		last := len(ops) - 1
-		T := plan.tab
 		tm := plan.mask
-		t0 := uint64(T[0])
 		// Window state for the virtual sample before the signal: every
 		// covered lag reads the zero-filled prefix.
-		S := uint64(plan.terms) * t0
+		S := uint64(plan.terms) * uint64(tab[0])
 		for i := range dst {
 			// Slide: lag a of sample i enters, lag b of sample i-1 leaves.
 			var xn, xo int64
@@ -232,7 +309,7 @@ func slidingWiring(w, k int, invA bool, plan slidePlan) chainFunc {
 			if j := i - 1 - plan.b; j >= 0 {
 				xo = xs[j]
 			}
-			S += uint64(T[uint64(xn)&tm]) - uint64(T[uint64(xo)&tm])
+			S += uint64(tab[uint64(xn)&tm]) - uint64(tab[uint64(xo)&tm])
 			u := S
 			for _, ci := range plan.corr {
 				op := &ops[ci]
@@ -241,7 +318,12 @@ func slidingWiring(w, k int, invA bool, plan slidePlan) chainFunc {
 					x = xs[j]
 				}
 				xi := uint64(x) & tm
-				u += uint64(op.proj[xi]) - uint64(T[xi])
+				if p16 := op.proj.u16; p16 != nil {
+					u += uint64(p16[xi])
+				} else {
+					u += uint64(op.proj.u32[xi])
+				}
+				u -= uint64(tab[xi])
 			}
 			var acc uint64
 			if invA {
@@ -295,16 +377,42 @@ func macChain(w int) chainFunc {
 // ProjTables returns the distinct projection tables the chain's strategy
 // consumes (empty for non-wiring chains), so callers can account a
 // design's full kernel working set alongside its product tables.
-func (c *Chain) ProjTables() [][]uint32 {
-	var out [][]uint32
-	seen := map[*uint32]bool{}
+func (c *Chain) ProjTables() []ProjTable {
+	var out []ProjTable
 	for i := range c.ops {
 		p := c.ops[i].proj
-		if p == nil || seen[&p[0]] {
+		if !p.valid() {
 			continue
 		}
-		seen[&p[0]] = true
-		out = append(out, p)
+		dup := false
+		for _, q := range out {
+			if q.Same(p) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// RawTables returns the distinct raw product tables the chain
+// materialized: every tap's for the generic strategies, only the boundary
+// taps' for wiring chains, none for a fused chain. The projected taps'
+// raw tables do not exist unless another consumer (the per-sample FIR
+// path) builds them.
+func (c *Chain) RawTables() []*ConstMulTable {
+	var out []*ConstMulTable
+	seen := map[*ConstMulTable]bool{}
+	for i := range c.ops {
+		t := c.ops[i].tab
+		if t == nil || seen[t] {
+			continue
+		}
+		seen[t] = true
+		out = append(out, t)
 	}
 	return out
 }
@@ -326,7 +434,8 @@ func (c *Chain) Run(dst, xs []int64, outShift uint, outWidth int) {
 
 // product evaluates one tap's delayed sample product (samples before the
 // start of the signal read as zero): the full int32 table inline when the
-// tap has one, the tier closure otherwise.
+// tap has one, the tier closure otherwise. Only taps holding a raw table
+// reach here — the strategies read projected taps through proj.
 func (op *chainOp) product(xs []int64, i int) int64 {
 	var x int64
 	if j := i - op.lag; j >= 0 {
@@ -434,13 +543,13 @@ func nativeChain(w int) chainFunc {
 // cells drop the +1 carry-in, like the scalar closures.
 //
 // Every tap that contributes only its upper slice reads its whole term
-// from a projection table (see chainProj): AMA5 sums
+// from a projection table (see buildChainProj): AMA5 sums
 // projRound[x] = (ub + 2^(k-1)) >> k per tap before the last — the
 // opening accumulator included, because copying p and zero-subtracting
 // through the wiring datapath both leave acc = ub, making the seed
 // acc>>k plus its k-1 bit the same rounded shift — and AMA4 sums
 // projTrunc[x] = ub >> k for every tap after the opening one. The hot
-// loop is one 32-bit load and one add per such tap.
+// loop is one table load and one add per such tap.
 func wiringChain(w, k int, invA bool) chainFunc {
 	mW := mask(w)
 	mk := mask(k)
@@ -488,7 +597,12 @@ func wiringChain(w, k int, invA bool) chainFunc {
 					if j := i - op.lag; j >= 0 {
 						x = xs[j]
 					}
-					u += uint64(op.proj[uint64(x)&op.mask])
+					xi := uint64(x) & op.mask
+					if p16 := op.proj.u16; p16 != nil {
+						u += uint64(p16[xi])
+					} else {
+						u += uint64(op.proj.u32[xi])
+					}
 				}
 				dst[i] = finish((low|u<<ku)&mW, w, outShift, outWidth)
 			}
@@ -505,7 +619,12 @@ func wiringChain(w, k int, invA bool) chainFunc {
 				if j := i - op.lag; j >= 0 {
 					x = xs[j]
 				}
-				u += uint64(op.proj[uint64(x)&op.mask])
+				xi := uint64(x) & op.mask
+				if p16 := op.proj.u16; p16 != nil {
+					u += uint64(p16[xi])
+				} else {
+					u += uint64(op.proj.u32[xi])
+				}
 			}
 			ub := (uint64(opL.product(xs, i)) ^ opL.neg) & mW
 			u += ub >> ku
@@ -514,23 +633,16 @@ func wiringChain(w, k int, invA bool) chainFunc {
 	}
 }
 
-// chainProj returns the memoized wiring-chain projection of one product
-// table: entry x holds the tap's whole upper-slice term
-// ((p(x) ^ neg) & mask(w) + round*2^(k-1)) >> k, so the chain loops pay
-// one 32-bit load and one add per projected tap. Projections are built
-// from the table's product closure (any tier) and cached globally like
-// the tables themselves.
-func chainProj(t *ConstMulTable, w, k int, neg, round bool) []uint32 {
-	key := projKey{spec: t.spec, coeff: t.coeff, w: w, k: k, neg: neg, round: round}
-	planCache.Lock()
-	if planCache.proj == nil {
-		planCache.proj = make(map[projKey][]uint32)
-	}
-	p, ok := planCache.proj[key]
-	planCache.Unlock()
-	if ok {
-		return p
-	}
+// buildChainProj enumerates one tap's whole upper-slice term
+// ((p(x) ^ neg) & mask(w) + round*2^(k-1)) >> k over every operand value
+// through the plan's product closure — no raw product table required.
+// Constant multiplication is odd (f(-x) == -f(x), the sign-magnitude
+// arrangement of every tier), so the two signs of one magnitude share a
+// single product evaluation, exactly like the full-table build. Entries
+// narrow to uint16 when they all fit: guaranteed at k >= 16, where a term
+// is at most a 2^(w-k) <= 2^16 slice plus the rounding carry; the value
+// check also catches the k = 16 rounding edge.
+func buildChainProj(f func(int64) int64, width, w, k int, opMask uint64, neg, round bool) ProjTable {
 	mW := mask(w)
 	var nm uint64
 	if neg {
@@ -540,13 +652,53 @@ func chainProj(t *ConstMulTable, w, k int, neg, round bool) []uint32 {
 	if round {
 		half = uint64(1) << (k - 1)
 	}
-	n := int(t.opMask) + 1
-	p = make([]uint32, n)
-	for u := 0; u < n; u++ {
-		x := arith.ToSigned(uint64(u), t.spec.Width)
-		ub := (uint64(t.fn(x)) ^ nm) & mW
-		p[u] = uint32((ub + half) >> uint(k))
+	n := int(opMask) + 1
+	mid := n / 2
+	u32 := make([]uint32, n)
+	var max uint32
+	term := func(p int64) uint32 {
+		ub := (uint64(p) ^ nm) & mW
+		e := uint32((ub + half) >> uint(k))
+		if e > max {
+			max = e
+		}
+		return e
 	}
+	for u := 0; u < mid; u++ {
+		p := f(int64(u))
+		u32[u] = term(p)
+		if u > 0 {
+			u32[n-u] = term(-p)
+		}
+	}
+	// The minimum value has no positive counterpart; evaluate it directly.
+	u32[mid] = term(f(arith.ToSigned(uint64(mid), width)))
+	if max <= 0xffff {
+		u16 := make([]uint16, n)
+		for i, e := range u32 {
+			u16[i] = uint16(e)
+		}
+		return ProjTable{u16: u16}
+	}
+	return ProjTable{u32: u32}
+}
+
+// cachedChainProj returns the memoized wiring-chain projection for one
+// (spec, coeff) product under the given chain parameters, built through
+// the compiled plan's product closure and cached globally like the tables
+// themselves (first insert wins).
+func cachedChainProj(m *Multiplier, coeff int64, w, k int, neg, round bool) ProjTable {
+	key := projKey{spec: m.spec, coeff: coeff, w: w, k: k, neg: neg, round: round}
+	planCache.Lock()
+	if planCache.proj == nil {
+		planCache.proj = make(map[projKey]ProjTable)
+	}
+	p, ok := planCache.proj[key]
+	planCache.Unlock()
+	if ok {
+		return p
+	}
+	p = buildChainProj(m.productFn(coeff), m.spec.Width, w, k, m.opMask, neg, round)
 	planCache.Lock()
 	defer planCache.Unlock()
 	if prev, ok := planCache.proj[key]; ok {

@@ -12,7 +12,8 @@ import (
 // sliceSpecs enumerates the adder configurations the slice-kernel
 // equivalence sweep covers: every cell kind at representative widths and
 // approximated-LSB counts, including the chunk-LUT boundary cases around
-// eight bits.
+// eight bits and the k >= 16 region where wiring-chain projections narrow
+// to uint16 entries.
 func sliceSpecs() []arith.Adder {
 	var specs []arith.Adder
 	for _, kind := range approx.AdderKinds {
@@ -28,33 +29,64 @@ func sliceSpecs() []arith.Adder {
 	return specs
 }
 
-// testTables builds a few product tables with distinct coefficients for
-// chain tests; the values only need to exercise the adder datapath.
-func testTables(t *testing.T) []*ConstMulTable {
+// chainTestSpec is the multiplier configuration the chain tests run over.
+var chainTestSpec = arith.Multiplier{Width: 16, ApproxLSBs: 4, Mult: approx.AppMultV1, Add: approx.ApproxAdd5}
+
+// chainTestCoeffs are the product coefficients the chain tests mix:
+// distinct magnitudes of both signs.
+var chainTestCoeffs = []int64{1, 3, -2, 31}
+
+// refMul returns reference product closures (via eagerly built tables,
+// which are themselves equivalence-tested against the bit-serial model)
+// for the scalar chain reference.
+func refMul(t *testing.T, spec arith.Multiplier, coeffs []int64) map[int64]func(int64) int64 {
 	t.Helper()
-	spec := arith.Multiplier{Width: 16, ApproxLSBs: 4, Mult: approx.AppMultV1, Add: approx.ApproxAdd5}
-	var tabs []*ConstMulTable
-	for _, c := range []int64{1, 3, -2, 31} {
+	ref := make(map[int64]func(int64) int64, len(coeffs))
+	for _, c := range coeffs {
 		tab, err := NewConstMulTable(spec, c)
 		if err != nil {
 			t.Fatal(err)
 		}
-		tabs = append(tabs, tab)
+		ref[c] = tab.Mul
 	}
-	return tabs
+	return ref
+}
+
+// scalarChain folds one sample through the reference per-tap operations:
+// product copy or zero-subtract for the first tap, AddSigned/SubSigned
+// for the rest, then the output bus slicing.
+func scalarChain(ad *Adder, ref map[int64]func(int64) int64, ops []ChainOp, xs []int64, i int, shift uint, outW int) int64 {
+	var acc int64
+	for o, op := range ops {
+		var x int64
+		if j := i - op.Lag; j >= 0 {
+			x = xs[j]
+		}
+		p := ref[op.Coeff](x)
+		switch {
+		case o == 0 && op.Sub:
+			acc = ad.SubSigned(0, p)
+		case o == 0:
+			acc = p
+		case op.Sub:
+			acc = ad.SubSigned(acc, p)
+		default:
+			acc = ad.AddSigned(acc, p)
+		}
+	}
+	return arith.ToSigned(uint64(acc)>>shift, outW)
 }
 
 // TestChainMatchesScalar runs compiled chains over random signals and
-// compares every output against the scalar per-sample accumulation
-// (product copy or zero-subtract for the first tap, AddSigned/SubSigned
-// for the rest, then the output bus slicing), for every cell kind in both
-// compilation modes and for leading add and leading subtract taps.
+// compares every output against the scalar per-sample accumulation, for
+// every cell kind in both compilation modes and for leading add and
+// leading subtract taps.
 func TestChainMatchesScalar(t *testing.T) {
 	for _, mode := range []bool{true, false} {
 		mode := mode
 		t.Run(fmt.Sprintf("kernels=%v", mode), func(t *testing.T) {
 			rng := rand.New(rand.NewSource(7))
-			tabs := testTables(t)
+			ref := refMul(t, chainTestSpec, chainTestCoeffs)
 			const n = 64
 			xs := make([]int64, n)
 			for i := range xs {
@@ -67,18 +99,18 @@ func TestChainMatchesScalar(t *testing.T) {
 			hpfLike := make([]ChainOp, 12)
 			hpfHole := make([]ChainOp, 0, 11)
 			for i := range hpfLike {
-				hpfLike[i] = ChainOp{Tab: tabs[0], Lag: i, Sub: true}
+				hpfLike[i] = ChainOp{Coeff: 1, Lag: i, Sub: true}
 				if i != 4 {
-					hpfHole = append(hpfHole, ChainOp{Tab: tabs[0], Lag: i, Sub: i%2 == 0})
+					hpfHole = append(hpfHole, ChainOp{Coeff: 1, Lag: i, Sub: i%2 == 0})
 				}
 			}
-			hpfLike[6] = ChainOp{Tab: tabs[3], Lag: 6, Sub: false}
+			hpfLike[6] = ChainOp{Coeff: 31, Lag: 6, Sub: false}
 			chains := [][]ChainOp{
-				{{Tab: tabs[0], Lag: 0, Sub: false}, {Tab: tabs[1], Lag: 1, Sub: true}, {Tab: tabs[2], Lag: 5, Sub: false}, {Tab: tabs[3], Lag: 31, Sub: true}},
-				{{Tab: tabs[3], Lag: 2, Sub: true}, {Tab: tabs[0], Lag: 0, Sub: false}, {Tab: tabs[1], Lag: n + 3, Sub: true}},
-				{{Tab: tabs[2], Lag: 4, Sub: false}},
-				{{Tab: tabs[0], Lag: 0, Sub: false}, {Tab: tabs[3], Lag: 6, Sub: true}},
-				{{Tab: tabs[1], Lag: 1, Sub: true}, {Tab: tabs[2], Lag: 0, Sub: true}},
+				{{Coeff: 1, Lag: 0}, {Coeff: 3, Lag: 1, Sub: true}, {Coeff: -2, Lag: 5}, {Coeff: 31, Lag: 31, Sub: true}},
+				{{Coeff: 31, Lag: 2, Sub: true}, {Coeff: 1, Lag: 0}, {Coeff: 3, Lag: n + 3, Sub: true}},
+				{{Coeff: -2, Lag: 4}},
+				{{Coeff: 1, Lag: 0}, {Coeff: 31, Lag: 6, Sub: true}},
+				{{Coeff: 3, Lag: 1, Sub: true}, {Coeff: -2, Lag: 0, Sub: true}},
 				hpfLike,
 				hpfHole,
 				{},
@@ -91,29 +123,14 @@ func TestChainMatchesScalar(t *testing.T) {
 				shift := uint(3)
 				outW := spec.Width - 3
 				for ci, ops := range chains {
-					chain := ad.NewChain(ops)
+					chain, err := ad.NewChain(chainTestSpec, ops)
+					if err != nil {
+						t.Fatal(err)
+					}
 					dst := make([]int64, n)
 					chain.Run(dst, xs, shift, outW)
 					for i := 0; i < n; i++ {
-						var acc int64
-						for o, op := range ops {
-							var x int64
-							if j := i - op.Lag; j >= 0 {
-								x = xs[j]
-							}
-							p := op.Tab.Mul(x)
-							switch {
-							case o == 0 && op.Sub:
-								acc = ad.SubSigned(0, p)
-							case o == 0:
-								acc = p
-							case op.Sub:
-								acc = ad.SubSigned(acc, p)
-							default:
-								acc = ad.AddSigned(acc, p)
-							}
-						}
-						want := arith.ToSigned(uint64(acc)>>shift, outW)
+						want := scalarChain(ad, ref, ops, xs, i, shift, outW)
 						if dst[i] != want {
 							t.Fatalf("%+v chain %d: Run[%d] = %d, scalar chain %d", spec, ci, i, dst[i], want)
 						}
@@ -143,20 +160,11 @@ func TestChainMatchesScalar(t *testing.T) {
 // multiply-accumulate) and its non-fusible fallbacks against the scalar
 // accumulation: small coefficients of both signs fuse, a coefficient at
 // the sign boundary (2^15) must not, and the behaviour is identical
-// either way.
+// either way. Fused chains must also be table-free.
 func TestExactChainFusion(t *testing.T) {
 	spec := arith.Multiplier{Width: 16, ApproxLSBs: 0, Mult: approx.AccMult, Add: approx.AccAdd}
-	var tabs []*ConstMulTable
-	for _, c := range []int64{1, 7, -3, 31, 1 << 15} {
-		tab, err := NewConstMulTable(spec, c)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if !tab.Exact() || tab.Bytes() != 0 {
-			t.Fatalf("exact spec built a %d-byte table (exact=%v)", tab.Bytes(), tab.Exact())
-		}
-		tabs = append(tabs, tab)
-	}
+	coeffs := []int64{1, 7, -3, 31, 1 << 15}
+	ref := refMul(t, spec, coeffs)
 	ad, err := CompileAdder(arith.Adder{Width: 32, ApproxLSBs: 0, Kind: approx.AccAdd})
 	if err != nil {
 		t.Fatal(err)
@@ -168,88 +176,190 @@ func TestExactChainFusion(t *testing.T) {
 		xs[i] = int64(int16(rng.Uint64()))
 	}
 	chains := [][]ChainOp{
-		{{Tab: tabs[0], Lag: 0}, {Tab: tabs[1], Lag: 1, Sub: true}, {Tab: tabs[2], Lag: 3}, {Tab: tabs[3], Lag: 7, Sub: true}},
-		{{Tab: tabs[4], Lag: 0}, {Tab: tabs[0], Lag: 2, Sub: true}}, // 2^15 coefficient: no fusion
-		{{Tab: tabs[2], Lag: 1, Sub: true}},
+		{{Coeff: 1, Lag: 0}, {Coeff: 7, Lag: 1, Sub: true}, {Coeff: -3, Lag: 3}, {Coeff: 31, Lag: 7, Sub: true}},
+		{{Coeff: 1 << 15, Lag: 0}, {Coeff: 1, Lag: 2, Sub: true}}, // 2^15 coefficient: no fusion
+		{{Coeff: -3, Lag: 1, Sub: true}},
 	}
-	for ci, ops := range chains {
-		chain := ad.NewChain(ops)
+	// A negative or out-of-range coefficient blocks fusion in every mode.
+	wantFused := []bool{false, false, false}
+	// Fusion itself requires a kernel-mode exact adder (oracle mode keeps
+	// the bit-serial models on the path), so pin the mode here.
+	adK, err := compileAdderMode(arith.Adder{Width: 32, ApproxLSBs: 0, Kind: approx.AccAdd}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fusible := [][]ChainOp{
+		{{Coeff: 1, Lag: 0}, {Coeff: 7, Lag: 1, Sub: true}, {Coeff: 31, Lag: 7, Sub: true}},
+	}
+	for _, ops := range fusible {
+		chain, err := adK.NewChain(spec, ops)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !chain.Fused() {
+			t.Fatalf("in-range exact chain did not fuse")
+		}
+		if len(chain.RawTables()) != 0 {
+			t.Fatalf("fused chain materialized %d raw tables", len(chain.RawTables()))
+		}
 		dst := make([]int64, n)
 		chain.Run(dst, xs, 5, 16)
 		for i := 0; i < n; i++ {
-			var acc int64
-			for o, op := range ops {
-				var x int64
-				if j := i - op.Lag; j >= 0 {
-					x = xs[j]
-				}
-				p := op.Tab.Mul(x)
-				switch {
-				case o == 0 && op.Sub:
-					acc = ad.SubSigned(0, p)
-				case o == 0:
-					acc = p
-				case op.Sub:
-					acc = ad.SubSigned(acc, p)
-				default:
-					acc = ad.AddSigned(acc, p)
-				}
+			if want := scalarChain(ad, ref, ops, xs, i, 5, 16); dst[i] != want {
+				t.Fatalf("fused chain: Run[%d] = %d, scalar %d", i, dst[i], want)
 			}
-			want := arith.ToSigned(uint64(acc)>>5, 16)
-			if dst[i] != want {
+		}
+	}
+	for ci, ops := range chains {
+		chain, err := ad.NewChain(spec, ops)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if chain.Fused() != wantFused[ci] {
+			t.Fatalf("chain %d: fused = %v, want %v", ci, chain.Fused(), wantFused[ci])
+		}
+		dst := make([]int64, n)
+		chain.Run(dst, xs, 5, 16)
+		for i := 0; i < n; i++ {
+			if want := scalarChain(ad, ref, ops, xs, i, 5, 16); dst[i] != want {
 				t.Fatalf("chain %d: Run[%d] = %d, scalar %d", ci, i, dst[i], want)
 			}
 		}
 	}
 }
 
-// TestConstMulTableFastFill compares the decomposed table construction
-// against the generic per-entry plan walk for a spread of multiplier
-// configurations and coefficients (both coefficient signs, both elementary
-// kinds, approximation depths crossing the subproduct boundaries).
-func TestConstMulTableFastFill(t *testing.T) {
-	coeffs := []int64{1, 2, 5, 31, -1, -6, 0}
-	for _, mul := range []approx.MultKind{approx.AppMultV1, approx.AppMultV2} {
-		for _, add := range []approx.AdderKind{approx.ApproxAdd5, approx.ApproxAdd2} {
-			for _, k := range []int{2, 8, 16, 24} {
-				spec := arith.Multiplier{Width: 16, ApproxLSBs: k, Mult: mul, Add: add}
-				m, err := CompileMultiplier(spec)
-				if err != nil {
-					t.Fatal(err)
-				}
-				for _, c := range coeffs {
-					tab, err := NewConstMulTable(spec, c)
-					if err != nil {
-						t.Fatal(err)
-					}
-					for i := 0; i < 1<<16; i++ {
-						x := arith.ToSigned(uint64(i), 16)
-						if got, want := tab.Mul(x), m.MulSigned(x, c); got != want {
-							t.Fatalf("%+v c=%d: tab[%d] = %d, plan walk %d", spec, c, x, got, want)
-						}
-					}
-				}
+// TestChainLazyRawTables pins the laziness contract: a wiring chain with a
+// sliding plan materializes raw product tables only for its boundary taps,
+// and the projected interior taps' 2^16-entry tables stay out of the
+// global cache until another consumer asks for them.
+func TestChainLazyRawTables(t *testing.T) {
+	DropCaches()
+	defer DropCaches()
+	spec := arith.Multiplier{Width: 16, ApproxLSBs: 10, Mult: approx.AppMultV1, Add: approx.ApproxAdd5}
+	// The wiring-projection strategy only compiles in kernel mode; pin it
+	// so the laziness contract holds under the oracle CI run too.
+	ad, err := compileAdderMode(arith.Adder{Width: 32, ApproxLSBs: 10, Kind: approx.ApproxAdd5}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The 32-tap HPF shape: one subtracted unit coefficient everywhere,
+	// one differing tap in the middle.
+	ops := make([]ChainOp, 32)
+	for i := range ops {
+		ops[i] = ChainOp{Coeff: 1, Lag: i, Sub: true}
+	}
+	ops[16] = ChainOp{Coeff: 32, Lag: 16}
+	chain, err := ad.NewChain(spec, ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := chain.RawTables()
+	if len(raw) != 1 {
+		t.Fatalf("AMA5 chain materialized %d raw tables, want 1 (the last tap)", len(raw))
+	}
+	if got := len(chain.ProjTables()); got != 2 {
+		t.Fatalf("chain holds %d distinct projections, want 2", got)
+	}
+	st := CacheStats()
+	if st.ConstTables != 1 {
+		t.Fatalf("global cache has %d raw const-mul tables, want 1", st.ConstTables)
+	}
+	if st.ChainProjs != 2 {
+		t.Fatalf("global cache has %d projections, want 2", st.ChainProjs)
+	}
+
+	// An oracle-mode adder chain reads every tap's product: all tables.
+	adO, err := compileAdderMode(arith.Adder{Width: 32, ApproxLSBs: 10, Kind: approx.ApproxAdd5}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chainO, err := adO.NewChain(spec, ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(chainO.RawTables()); got != 2 {
+		t.Fatalf("oracle chain materialized %d raw tables, want 2 (both magnitudes)", got)
+	}
+}
+
+// TestChainProjTiers checks the uint16 narrowing of projection tables
+// against the uint32 construction: at k >= 16 every entry must fit and
+// the narrowed table must be element-identical to the wide one; at small
+// k with a subtracted unit coefficient the terms exceed 16 bits and the
+// table must stay uint32.
+func TestChainProjTiers(t *testing.T) {
+	spec := arith.Multiplier{Width: 16, ApproxLSBs: 16, Mult: approx.AppMultV1, Add: approx.ApproxAdd5}
+	m, err := CachedMultiplier(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		coeff    int64
+		w, k     int
+		neg, rnd bool
+		want16   bool
+	}{
+		{1, 32, 16, true, true, false}, // rounding edge: (2^32-1 + 2^15) >> 16 == 2^16
+		{1, 32, 16, false, true, true},
+		{1, 32, 17, true, false, true},
+		{31, 32, 16, false, true, true},
+		{1, 32, 10, true, true, false},  // terms up to 2^22
+		{1, 32, 8, false, false, false}, // negative operands wrap high: terms > 2^16
+		{0, 32, 8, false, false, true},  // all-zero products narrow at any k
+	} {
+		p := buildChainProj(m.productFn(tc.coeff), spec.Width, tc.w, tc.k, m.opMask, tc.neg, tc.rnd)
+		if got := p.u16 != nil; got != tc.want16 {
+			t.Fatalf("%+v: uint16 tier = %v, want %v", tc, got, tc.want16)
+		}
+		if p.Entries() != int(m.opMask)+1 {
+			t.Fatalf("%+v: %d entries, want %d", tc, p.Entries(), int(m.opMask)+1)
+		}
+		// Element-identity against the direct uint32 construction.
+		f := m.productFn(tc.coeff)
+		mW := mask(tc.w)
+		var nm uint64
+		if tc.neg {
+			nm = ^uint64(0)
+		}
+		var half uint64
+		if tc.rnd {
+			half = uint64(1) << (tc.k - 1)
+		}
+		for u := 0; u < p.Entries(); u++ {
+			x := arith.ToSigned(uint64(u), spec.Width)
+			want := ((uint64(f(x))^nm)&mW + half) >> uint(tc.k)
+			if got := p.at(uint64(u)); got != want {
+				t.Fatalf("%+v entry %d: %d, want %d", tc, u, got, want)
 			}
 		}
 	}
 }
 
-// TestSquareTableSignSymmetry checks the halved square-table construction
-// against direct plan evaluation for both operand signs.
-func TestSquareTableSignSymmetry(t *testing.T) {
-	spec := arith.Multiplier{Width: 16, ApproxLSBs: 8, Mult: approx.AppMultV1, Add: approx.ApproxAdd5}
-	m, err := CompileMultiplier(spec)
-	if err != nil {
-		t.Fatal(err)
+// TestProductFnMatchesReference checks the table-free product closure —
+// what projections are built from — against the bit-serial reference for
+// every representation tier.
+func TestProductFnMatchesReference(t *testing.T) {
+	specs := []arith.Multiplier{
+		{Width: 16, ApproxLSBs: 0, Mult: approx.AccMult, Add: approx.AccAdd},       // exact
+		{Width: 16, ApproxLSBs: 8, Mult: approx.AppMultV1, Add: approx.AccAdd},     // decomposed-exact
+		{Width: 16, ApproxLSBs: 8, Mult: approx.AppMultV1, Add: approx.ApproxAdd5}, // composite approx
+		{Width: 16, ApproxLSBs: 12, Mult: approx.AppMultV2, Add: approx.ApproxAdd3},
 	}
-	tab, err := NewSquareTable(spec)
-	if err != nil {
-		t.Fatal(err)
-	}
-	for i := 0; i < 1<<16; i++ {
-		x := arith.ToSigned(uint64(i), 16)
-		if got, want := tab.Square(x), m.MulSigned(x, x); got != want {
-			t.Fatalf("square[%d] = %d, plan walk %d", x, got, want)
+	for _, mode := range []bool{true, false} {
+		for _, spec := range specs {
+			m, err := compileMultiplierMode(spec, mode)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, c := range []int64{0, 1, -2, 31, -31, 255} {
+				f := m.productFn(c)
+				for i := 0; i < 1<<16; i += 7 {
+					x := arith.ToSigned(uint64(i), 16)
+					if got, want := f(x), spec.MulSigned(x, c); got != want {
+						t.Fatalf("mode=%v %+v c=%d: productFn(%d) = %d, reference %d", mode, spec, c, x, got, want)
+					}
+				}
+			}
 		}
 	}
 }

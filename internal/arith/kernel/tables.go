@@ -71,12 +71,13 @@ func NewConstMulTable(spec arith.Multiplier, c int64) (*ConstMulTable, error) {
 		t.fn = m.constMulFunc(t.lo, t.hi, negC)
 	case m.composite():
 		// Full table, built through the top-level decomposition: 4 x 2^(w/2)
-		// child evaluations shared by all entries, two compiled
-		// accumulations per entry, and the two signs of one magnitude share
-		// one core evaluation.
+		// child evaluations shared by all entries, two devirtualized
+		// accumulations per entry (see combineFn), and the two signs of one
+		// magnitude share one core evaluation.
 		lo, hi := m.subProductTables(cm)
+		core := m.combineFn(lo, hi)
 		t.tab32, t.tab64 = fullProductTable(spec.Width, true, func(mag int64) int64 {
-			p := m.combineCore(lo, hi, uint64(mag))
+			p := core(uint64(mag))
 			if negC {
 				p = -p
 			}
@@ -290,7 +291,7 @@ var planCache struct {
 	mults  map[multPlanKey]*Multiplier
 	cmul   map[constMulKey]*ConstMulTable
 	sqr    map[arith.Multiplier]*SquareTable
-	proj   map[projKey][]uint32
+	proj   map[projKey]ProjTable
 }
 
 type adderPlanKey struct {
@@ -308,8 +309,8 @@ type constMulKey struct {
 	coeff int64
 }
 
-// projKey identifies one wiring-chain projection (see chainProj): the
-// product table it projects plus the consuming chain adder's width,
+// projKey identifies one wiring-chain projection (see buildChainProj):
+// the product it projects plus the consuming chain adder's width,
 // approximated-LSB count, the tap's subtract polarity and whether the
 // term carries the rounding bit (AMA5) or truncates (AMA4).
 type projKey struct {
@@ -333,7 +334,8 @@ type Stats struct {
 	// SubProductBytes is the storage of the decomposed (two 256-entry
 	// sub-product tables) tier; FullTableBytes covers the int32/int64 full
 	// tables (oracle mode and approximately-combined plans);
-	// ChainProjBytes the wiring-chain projection tables.
+	// ChainProjBytes the wiring-chain projection tables (uint16 entries
+	// where every term fits — all k >= 16 chains — uint32 otherwise).
 	SubProductBytes int64
 	FullTableBytes  int64
 	ChainProjBytes  int64
@@ -362,7 +364,7 @@ func CacheStats() Stats {
 		st.FullTableBytes += t.Bytes()
 	}
 	for _, p := range planCache.proj {
-		st.ChainProjBytes += int64(len(p)) * 4
+		st.ChainProjBytes += p.Bytes()
 	}
 	st.TableBytes = st.SubProductBytes + st.FullTableBytes + st.ChainProjBytes
 	return st
@@ -381,7 +383,7 @@ func DropCaches() {
 	planCache.mults = make(map[multPlanKey]*Multiplier)
 	planCache.cmul = make(map[constMulKey]*ConstMulTable)
 	planCache.sqr = make(map[arith.Multiplier]*SquareTable)
-	planCache.proj = make(map[projKey][]uint32)
+	planCache.proj = make(map[projKey]ProjTable)
 }
 
 // CachedAdder returns a shared compiled plan for spec. Plans are immutable

@@ -181,7 +181,7 @@ func TestPlanCacheConcurrentColdBuild(t *testing.T) {
 		tabs  = map[*ConstMulTable]bool{}
 		sqrs  = map[*SquareTable]bool{}
 		adds  = map[*Adder]bool{}
-		projs = map[*uint32]bool{}
+		projs []ProjTable
 	)
 	wg.Add(goroutines)
 	for g := 0; g < goroutines; g++ {
@@ -202,12 +202,26 @@ func TestPlanCacheConcurrentColdBuild(t *testing.T) {
 				t.Error(err)
 				return
 			}
-			proj := chainProj(tab, 32, 12, true, true)
+			m, err := CachedMultiplier(spec)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			proj := cachedChainProj(m, 12345, 32, 12, true, true)
 			mu.Lock()
 			tabs[tab] = true
 			sqrs[sq] = true
 			adds[ad] = true
-			projs[&proj[0]] = true
+			dup := false
+			for _, q := range projs {
+				if q.Same(proj) {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				projs = append(projs, proj)
+			}
 			mu.Unlock()
 		}()
 	}

@@ -62,13 +62,21 @@ const AccWidth = 32
 // through an approximate ripple-carry adder chain in tap order, exactly
 // mirroring the generated stage netlist: negative coefficients subtract
 // their product magnitude.
+//
+// Raw per-coefficient product tables are built lazily: the batch path
+// (FilterInto) runs the compiled chain, which for the wiring cells
+// (AMA4/AMA5) touches only the boundary taps' raw tables — every other
+// tap reads a projection — so a batch-only workload (the design-space
+// exploration) never pays for the interior tables. The per-sample path
+// (Process) materializes its tap tables on first use.
 type FIR struct {
 	coeffs   []int64
-	ops      []firOp       // non-zero taps in tap order
-	chain    *kernel.Chain // the same taps compiled as one slice kernel
+	mult     arith.Multiplier
+	ops      []firOp       // non-zero taps in tap order (built on first Process)
+	opsReady bool          // per-sample tap tables materialized
+	chain    *kernel.Chain // the taps compiled as one slice kernel
 	adder    *kernel.Adder
-	tabs     []*kernel.ConstMulTable // distinct product tables, for accounting
-	mac      []macOp                 // fused fully-exact taps (nil when not applicable)
+	mac      []macOp // fused fully-exact taps (nil when not applicable)
 	outShift int
 	// hist is the delay line stored twice (hist[i] == hist[i+n]), so a
 	// tap's sample is always hist[pos+n-lag] and the hot loop has no
@@ -110,22 +118,59 @@ func NewFIR(coeffs []int64, outShift int, cfg ArithConfig) (*FIR, error) {
 	if err := mult.Validate(); err != nil {
 		return nil, err
 	}
+	if mult.Width > 16 {
+		// The lazy per-sample tables must not be able to fail later; a
+		// full table is 2^Width entries, the same bound NewConstMulTable
+		// enforces.
+		return nil, fmt.Errorf("dsp: FIR sample width %d exceeds 16", mult.Width)
+	}
 	adder, err := kernel.CachedAdder(arith.Adder{Width: AccWidth, ApproxLSBs: cfg.LSBs, Kind: cfg.Add})
 	if err != nil {
 		return nil, err
 	}
 	f := &FIR{
 		coeffs:   append([]int64(nil), coeffs...),
+		mult:     mult,
 		adder:    adder,
 		outShift: outShift,
 		hist:     make([]int64, 2*len(coeffs)),
 		n:        len(coeffs),
 	}
-	// One lookup table per distinct coefficient magnitude.
-	byMag := make(map[int64]*kernel.ConstMulTable, len(coeffs))
-	f.ops = make([]firOp, 0, len(coeffs))
 	chainOps := make([]kernel.ChainOp, 0, len(coeffs))
 	for i, c := range coeffs {
+		if c == 0 {
+			continue
+		}
+		mag := c
+		if mag < 0 {
+			mag = -mag
+		}
+		chainOps = append(chainOps, kernel.ChainOp{Coeff: mag, Lag: i, Sub: c < 0})
+	}
+	f.chain, err = adder.NewChain(mult, chainOps)
+	if err != nil {
+		return nil, err
+	}
+	if f.chain.Fused() && len(chainOps) > 0 {
+		// The batch kernel collapsed to native MAC; mirror it on the
+		// per-sample path so both share one fusibility decision.
+		f.mac = make([]macOp, 0, len(chainOps))
+		for i, c := range coeffs {
+			if c != 0 {
+				f.mac = append(f.mac, macOp{c: c, lag: i})
+			}
+		}
+	}
+	return f, nil
+}
+
+// initOps materializes the per-sample tap tables (one per distinct
+// coefficient magnitude, shared through the global kernel cache). The
+// specs were validated in NewFIR, so a build failure here is impossible.
+func (f *FIR) initOps() {
+	byMag := make(map[int64]*kernel.ConstMulTable, len(f.coeffs))
+	f.ops = make([]firOp, 0, len(f.coeffs))
+	for i, c := range f.coeffs {
 		if c == 0 {
 			continue
 		}
@@ -136,39 +181,43 @@ func NewFIR(coeffs []int64, outShift int, cfg ArithConfig) (*FIR, error) {
 		tab, ok := byMag[mag]
 		if !ok {
 			var err error
-			tab, err = kernel.CachedConstMulTable(mult, mag)
+			tab, err = kernel.CachedConstMulTable(f.mult, mag)
 			if err != nil {
-				return nil, err
+				panic(fmt.Sprintf("dsp: FIR table for validated spec %+v coeff %d: %v", f.mult, mag, err))
 			}
 			byMag[mag] = tab
-			f.tabs = append(f.tabs, tab)
 		}
 		f.ops = append(f.ops, firOp{tab: tab, lag: i, sub: c < 0})
-		chainOps = append(chainOps, kernel.ChainOp{Tab: tab, Lag: i, Sub: c < 0})
 	}
-	f.chain = adder.NewChain(chainOps)
-	if f.chain.Fused() && len(f.ops) > 0 {
-		// The batch kernel collapsed to native MAC; mirror it on the
-		// per-sample path so both share one fusibility decision.
-		f.mac = make([]macOp, 0, len(f.ops))
-		for i, c := range coeffs {
-			if c != 0 {
-				f.mac = append(f.mac, macOp{c: c, lag: i})
-			}
-		}
-	}
-	return f, nil
+	f.opsReady = true
 }
 
-// Tables returns the filter's distinct product tables (one per coefficient
-// magnitude), so callers can account the design's kernel table footprint.
+// Tables returns the filter's distinct live product tables: the boundary
+// taps the batch chain materialized plus, once the per-sample path has
+// run, one table per coefficient magnitude. Tables that were never built
+// (projected wiring-chain taps under a batch-only workload) do not
+// appear — this is the honest footprint, mirroring kernel.CacheStats.
 func (f *FIR) Tables() []*kernel.ConstMulTable {
-	return append([]*kernel.ConstMulTable(nil), f.tabs...)
+	tabs := f.chain.RawTables()
+	if !f.opsReady {
+		return tabs
+	}
+	seen := make(map[*kernel.ConstMulTable]bool, len(tabs))
+	for _, t := range tabs {
+		seen[t] = true
+	}
+	for i := range f.ops {
+		if t := f.ops[i].tab; !seen[t] {
+			seen[t] = true
+			tabs = append(tabs, t)
+		}
+	}
+	return tabs
 }
 
 // ProjTables returns the distinct chain projection tables the filter's
 // batched kernel consumes (see kernel.Chain.ProjTables).
-func (f *FIR) ProjTables() [][]uint32 { return f.chain.ProjTables() }
+func (f *FIR) ProjTables() []kernel.ProjTable { return f.chain.ProjTables() }
 
 // Len returns the number of taps.
 func (f *FIR) Len() int { return len(f.coeffs) }
@@ -208,6 +257,9 @@ func (f *FIR) Process(x int64) int64 {
 		}
 		acc := arith.ToSigned(uint64(s), AccWidth)
 		return arith.ToSigned(uint64(acc)>>uint(f.outShift), SampleWidth)
+	}
+	if !f.opsReady {
+		f.initOps()
 	}
 	var acc int64
 	if ops := f.ops; len(ops) > 0 {

@@ -9,6 +9,16 @@
 //   - the Raspberry Pi 3 B+ software reference point (configuration A1 of
 //     Fig 12), modelled ~7 orders of magnitude above the ASIC design.
 //
+// Characterizing one (stage, configuration) pair — synthesizing the stage
+// netlist, simulating it over the stimulus window with the lane-packed
+// activity engine of package netlist, and weighting power by the measured
+// toggle rates — is a pure function of the pair and the stimulus, so the
+// results live in a process-wide cache (see cache.go): every Model whose
+// stimulus, vector count and warmup match shares the same entries, across
+// core.Evaluator instances, design-space-exploration phases and
+// experiments. CacheStats and DropCaches expose it the way
+// kernel.CacheStats/DropCaches expose the arithmetic plan/table cache.
+//
 // Energy figures are per processed sample (fJ). Reductions are always
 // quoted against the accurate configuration of the same unit, matching the
 // paper's reporting.
@@ -16,7 +26,8 @@ package energy
 
 import (
 	"fmt"
-	"sync"
+	"strconv"
+	"strings"
 
 	"github.com/xbiosip/xbiosip/internal/dsp"
 	"github.com/xbiosip/xbiosip/internal/ecg"
@@ -27,9 +38,30 @@ import (
 
 // Stimulus carries the per-stage input signals used for switching-activity
 // analysis: each stage is driven by the signal it actually sees in the
-// accurate pipeline over a reference record.
+// accurate pipeline over a reference record. Each signal also carries a
+// fingerprint so characterizations over different records never share a
+// cache entry.
 type Stimulus struct {
 	inputs [pantompkins.NumStages][]int64
+	hash   [pantompkins.NumStages]uint64
+}
+
+// fingerprint hashes a stage signal (FNV-1a over the samples plus the
+// length) for the characterization-cache key.
+func fingerprint(sig []int64) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	h = (h ^ uint64(len(sig))) * prime64
+	for _, s := range sig {
+		u := uint64(s)
+		for b := 0; b < 64; b += 8 {
+			h = (h ^ (u >> b & 0xff)) * prime64
+		}
+	}
+	return h
 }
 
 // NewStimulus runs the accurate pipeline over the record and captures each
@@ -50,11 +82,17 @@ func NewStimulus(rec *ecg.Record) (*Stimulus, error) {
 	st.inputs[pantompkins.DER] = out.Filtered
 	st.inputs[pantompkins.SQR] = out.Derivative
 	st.inputs[pantompkins.MWI] = out.Squared
+	for s := range st.inputs {
+		st.hash[s] = fingerprint(st.inputs[s])
+	}
 	return st, nil
 }
 
-// Model computes stage and pipeline energy with caching: the design-space
-// exploration re-evaluates the same stage configurations many times.
+// Model computes stage and pipeline energy over one stimulus. All
+// characterizations go through the process-wide cache, so models built
+// over the same record and analysis window — every evaluator of a
+// benchmark run, every phase of a design-space exploration — share the
+// synthesized netlists, activity measurements and reports.
 type Model struct {
 	stim *Stimulus
 	// Vectors is the number of consecutive stimulus samples applied to
@@ -62,14 +100,6 @@ type Model struct {
 	Vectors int
 	// Warmup skips initial samples (filter settling) before stimulus.
 	Warmup int
-
-	mu    sync.Mutex
-	cache map[stageKey]synth.Report
-}
-
-type stageKey struct {
-	stage pantompkins.Stage
-	cfg   dsp.ArithConfig
 }
 
 // DefaultVectors is enough stimulus to cover several heartbeats at 200 Hz.
@@ -77,37 +107,50 @@ const DefaultVectors = 600
 
 // NewModel builds an energy model over the given stimulus.
 func NewModel(stim *Stimulus) *Model {
-	return &Model{stim: stim, Vectors: DefaultVectors, Warmup: 100, cache: make(map[stageKey]synth.Report)}
+	return &Model{stim: stim, Vectors: DefaultVectors, Warmup: 100}
 }
 
-// stageVectors builds simulator input vectors for one stage: consecutive
+// stagePortIndex parses a combinational stage port name x<idx>.
+func stagePortIndex(name string) (int, error) {
+	if !strings.HasPrefix(name, "x") {
+		return 0, fmt.Errorf("energy: unexpected stage port %q", name)
+	}
+	idx, err := strconv.Atoi(name[1:])
+	if err != nil || idx < 0 {
+		return 0, fmt.Errorf("energy: unexpected stage port %q", name)
+	}
+	return idx, nil
+}
+
+// stageStreams builds packed simulator stimulus for one stage: consecutive
 // sliding windows of the stage's stimulus signal across the tap ports
 // x0..xN-1 (or the single port for the squarer). Values enter the
 // magnitude-style datapath masked to the port width.
-func (m *Model) stageVectors(s pantompkins.Stage, n *netlist.Netlist) ([]map[string]uint64, error) {
+func (m *Model) stageStreams(s pantompkins.Stage, n *netlist.Netlist) ([]netlist.PortStimulus, error) {
 	sig := m.stim.inputs[s]
 	need := m.Warmup + m.Vectors + pantompkins.MWIWindow + 40
 	if len(sig) < need {
 		return nil, fmt.Errorf("energy: stimulus too short for stage %v: %d < %d", s, len(sig), need)
 	}
-	vectors := make([]map[string]uint64, m.Vectors)
-	for v := range vectors {
-		t := m.Warmup + pantompkins.MWIWindow + v
-		vec := make(map[string]uint64, len(n.Inputs))
-		for _, p := range n.Inputs {
-			var idx int
-			if _, err := fmt.Sscanf(p.Name, "x%d", &idx); err != nil {
-				return nil, fmt.Errorf("energy: unexpected stage port %q", p.Name)
-			}
-			x := sig[t-idx]
+	base := m.Warmup + pantompkins.MWIWindow
+	ports := make([]netlist.PortStimulus, len(n.Inputs))
+	for pi, p := range n.Inputs {
+		idx, err := stagePortIndex(p.Name)
+		if err != nil {
+			return nil, err
+		}
+		mask := uint64(1)<<len(p.Bits) - 1
+		vals := make([]uint64, m.Vectors)
+		for v := range vals {
+			x := sig[base+v-idx]
 			if x < 0 {
 				x = -x
 			}
-			vec[p.Name] = uint64(x) & ((1 << len(p.Bits)) - 1)
+			vals[v] = uint64(x) & mask
 		}
-		vectors[v] = vec
+		ports[pi] = netlist.PortStimulus{Name: p.Name, Values: vals}
 	}
-	return vectors, nil
+	return ports, nil
 }
 
 // stageNetlist builds the combinational variant of a stage for simulation.
@@ -119,33 +162,57 @@ func stageNetlist(s pantompkins.Stage, cfg dsp.ArithConfig) (*netlist.Netlist, e
 	return netlist.Optimize(n, nil)
 }
 
+// characterize builds one cache entry from scratch: synthesize, simulate,
+// weight. It runs outside the cache lock; see storeChar.
+func (m *Model) characterize(s pantompkins.Stage, cfg dsp.ArithConfig) (*charEntry, error) {
+	n, err := stageNetlist(s, cfg)
+	if err != nil {
+		return nil, err
+	}
+	ports, err := m.stageStreams(s, n)
+	if err != nil {
+		return nil, err
+	}
+	rep, act, err := synth.AnalyzeActivityStreams(n, ports)
+	if err != nil {
+		return nil, err
+	}
+	return &charEntry{net: n, act: act, rep: rep}, nil
+}
+
+// stageChar returns the (cached) characterization of one stage
+// configuration.
+func (m *Model) stageChar(s pantompkins.Stage, cfg dsp.ArithConfig) (*charEntry, error) {
+	key := charKey{stage: s, cfg: canonicalStageCfg(cfg), stim: m.stim.hash[s], vectors: m.Vectors, warmup: m.Warmup}
+	if e, ok := lookupChar(key); ok {
+		return e, nil
+	}
+	e, err := m.characterize(s, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return storeChar(key, e), nil
+}
+
 // StageReport returns the synthesis report (area, activity-weighted power,
 // delay, energy) of one stage configuration.
 func (m *Model) StageReport(s pantompkins.Stage, cfg dsp.ArithConfig) (synth.Report, error) {
-	key := stageKey{s, cfg}
-	m.mu.Lock()
-	if r, ok := m.cache[key]; ok {
-		m.mu.Unlock()
-		return r, nil
+	e, err := m.stageChar(s, cfg)
+	if err != nil {
+		return synth.Report{}, err
 	}
-	m.mu.Unlock()
+	return e.rep, nil
+}
 
-	n, err := stageNetlist(s, cfg)
+// StageActivity returns the switching-activity measurement and optimised
+// netlist behind one stage configuration's report (both shared cache
+// state: the netlist and activity must not be mutated).
+func (m *Model) StageActivity(s pantompkins.Stage, cfg dsp.ArithConfig) (*netlist.Netlist, netlist.Activity, error) {
+	e, err := m.stageChar(s, cfg)
 	if err != nil {
-		return synth.Report{}, err
+		return nil, netlist.Activity{}, err
 	}
-	vectors, err := m.stageVectors(s, n)
-	if err != nil {
-		return synth.Report{}, err
-	}
-	r, err := synth.AnalyzeActivity(n, vectors)
-	if err != nil {
-		return synth.Report{}, err
-	}
-	m.mu.Lock()
-	m.cache[key] = r
-	m.mu.Unlock()
-	return r, nil
+	return e.net, e.act, nil
 }
 
 // StageEnergy returns the per-operation energy (fJ) of one stage

@@ -1,10 +1,14 @@
 package experiments
 
 import (
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
 
+	"github.com/xbiosip/xbiosip/internal/arith/kernel"
+	"github.com/xbiosip/xbiosip/internal/core"
+	"github.com/xbiosip/xbiosip/internal/energy"
 	"github.com/xbiosip/xbiosip/internal/pantompkins"
 )
 
@@ -159,6 +163,57 @@ func TestFig12Rows(t *testing.T) {
 	for _, want := range []string{"A1", "B9", "B14", "orders of magnitude"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("Fig 12 output missing %q", want)
+		}
+	}
+}
+
+// TestEnergyFiguresWarmColdShardIdentical is the acceptance bar of the
+// shared energy-characterization cache: the energy figures (Fig 12, the
+// accounting ablation) must be bit-identical whether the process-wide
+// caches are cold or warm, and for every evaluation-engine workers/shards
+// combination.
+func TestEnergyFiguresWarmColdShardIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multiple full figure evaluations are slow")
+	}
+	type result struct {
+		fig12 []Fig12Row
+		abl   []AblationRow
+	}
+	run := func(workers, shards int) result {
+		s, err := NewSetupOpts(1, 3000, core.EvalOptions{Workers: workers, RecordShards: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows, err := s.Fig12()
+		if err != nil {
+			t.Fatal(err)
+		}
+		abl, err := s.EnergyAccountingAblation()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return result{fig12: rows, abl: abl}
+	}
+	dropAll := func() {
+		energy.DropCaches()
+		kernel.DropCaches()
+	}
+	dropAll()
+	defer dropAll()
+	cold := run(1, 1)
+	warm := run(4, 3) // same process: every characterization is a cache hit
+	if st := energy.CacheStats(); st.Hits == 0 {
+		t.Fatal("second setup hit no cached characterizations")
+	}
+	dropAll()
+	cold2 := run(3, 2) // cold again, parallel engine
+	for i, r := range []result{warm, cold2} {
+		if !reflect.DeepEqual(cold.fig12, r.fig12) {
+			t.Errorf("run %d: Fig 12 rows differ from the cold sequential run", i)
+		}
+		if !reflect.DeepEqual(cold.abl, r.abl) {
+			t.Errorf("run %d: ablation rows differ from the cold sequential run", i)
 		}
 	}
 }

@@ -1,6 +1,33 @@
 package netlist
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+	"os"
+	"sync/atomic"
+)
+
+// lanesDisabled flips activity analysis onto the scalar oracle path: one
+// vector at a time, one uint8 per net, exactly the pre-lane-packing
+// simulator. It honours the same XBIOSIP_NO_KERNELS environment variable
+// as the arithmetic kernels, so the CI oracle run exercises the scalar
+// reference end to end.
+var lanesDisabled atomic.Bool
+
+func init() {
+	if v := os.Getenv("XBIOSIP_NO_KERNELS"); v != "" && v != "0" {
+		lanesDisabled.Store(true)
+	}
+}
+
+// LanePackingEnabled reports whether activity analysis uses the 64-lane
+// word-parallel evaluation (the default) or the scalar oracle.
+func LanePackingEnabled() bool { return !lanesDisabled.Load() }
+
+// SetLanePacking switches the activity evaluation path and returns the
+// previous setting. It exists so equivalence tests and benchmarks can
+// compare the lane-packed and scalar paths in-process.
+func SetLanePacking(on bool) bool { return !lanesDisabled.Swap(!on) }
 
 // Activity holds per-cell switching activity measured by simulating a
 // netlist over a stimulus vector sequence — the netlist-level equivalent
@@ -15,28 +42,115 @@ type Activity struct {
 	Vectors int
 }
 
+// PortStimulus is the packed stimulus stream of one input port: Values[v]
+// is the port's word value under vector v. A slice of PortStimulus is the
+// allocation-light alternative to one map per vector.
+type PortStimulus struct {
+	Name   string
+	Values []uint64
+}
+
 // RunActivity simulates the netlist over consecutive input vectors and
 // records output-pin toggle rates for every cell. At least two vectors are
-// required (activity is defined over consecutive pairs).
+// required (activity is defined over consecutive pairs). This is the
+// map-per-vector convenience form of RunActivityStreams.
 func (s *Simulator) RunActivity(vectors []map[string]uint64) (Activity, error) {
 	if len(vectors) < 2 {
 		return Activity{}, fmt.Errorf("netlist %s: activity needs >= 2 vectors, got %d", s.n.Name, len(vectors))
 	}
+	ports := make([]PortStimulus, len(s.n.Inputs))
+	for pi, p := range s.n.Inputs {
+		vals := make([]uint64, len(vectors))
+		for vi, vec := range vectors {
+			v, ok := vec[p.Name]
+			if !ok {
+				return Activity{}, fmt.Errorf("netlist %s: vector %d missing input %q", s.n.Name, vi, p.Name)
+			}
+			vals[vi] = v
+		}
+		ports[pi] = PortStimulus{Name: p.Name, Values: vals}
+	}
+	return s.RunActivityStreams(ports)
+}
+
+// RunActivityStreams is RunActivity over packed per-port stimulus streams.
+// Every input port must appear exactly once with one value per vector.
+//
+// Under lane packing (the default) 64 consecutive vectors evaluate at once:
+// every net holds a uint64 whose bit l is the net's value under vector
+// base+l, each cell's logic function is applied bitwise across all lanes,
+// and a toggle count is the popcount of the XOR between an output word and
+// its one-lane shift. Toggle counts stay integer either way, so PerCell is
+// bit-identical to the scalar oracle path (XBIOSIP_NO_KERNELS=1).
+func (s *Simulator) RunActivityStreams(ports []PortStimulus) (Activity, error) {
+	vectors, err := s.bindStreams(ports)
+	if err != nil {
+		return Activity{}, err
+	}
+	if LanePackingEnabled() {
+		return s.runActivityLanes(vectors)
+	}
+	return s.runActivityScalar(vectors)
+}
+
+// bindStreams validates the stimulus streams against the netlist's input
+// ports and returns the vector count. s.streams[i] is the stream of input
+// port i afterwards.
+func (s *Simulator) bindStreams(ports []PortStimulus) (int, error) {
+	if s.streams == nil {
+		s.streams = make([][]uint64, len(s.n.Inputs))
+	}
+	for i := range s.streams {
+		s.streams[i] = nil
+	}
+	vectors := -1
+	for _, ps := range ports {
+		idx := -1
+		for pi, p := range s.n.Inputs {
+			if p.Name == ps.Name {
+				idx = pi
+				break
+			}
+		}
+		if idx < 0 {
+			return 0, fmt.Errorf("netlist %s: stimulus for unknown input %q", s.n.Name, ps.Name)
+		}
+		if s.streams[idx] != nil {
+			return 0, fmt.Errorf("netlist %s: duplicate stimulus for input %q", s.n.Name, ps.Name)
+		}
+		if vectors >= 0 && len(ps.Values) != vectors {
+			return 0, fmt.Errorf("netlist %s: input %q has %d vectors, want %d", s.n.Name, ps.Name, len(ps.Values), vectors)
+		}
+		vectors = len(ps.Values)
+		s.streams[idx] = ps.Values
+	}
+	for pi, p := range s.n.Inputs {
+		if s.streams[pi] == nil {
+			return 0, fmt.Errorf("netlist %s: missing stimulus for input %q", s.n.Name, p.Name)
+		}
+	}
+	if vectors < 2 {
+		return 0, fmt.Errorf("netlist %s: activity needs >= 2 vectors, got %d", s.n.Name, vectors)
+	}
+	return vectors, nil
+}
+
+// runActivityScalar is the oracle path: the pre-lane-packing simulator
+// restated over stimulus streams, one vector at a time and one uint8 per
+// net, kept as the equivalence-tested reference for the lane engine.
+func (s *Simulator) runActivityScalar(vectors int) (Activity, error) {
 	toggles := make([]float64, len(s.n.Cells))
 	prev := make([][4]uint8, len(s.n.Cells))
 
 	vals := s.vals
 	var in [4]uint8
-	for vi, vec := range vectors {
+	for vi := 0; vi < vectors; vi++ {
 		for i := range vals {
 			vals[i] = 0
 		}
 		vals[Const1] = 1
-		for _, p := range s.n.Inputs {
-			v, ok := vec[p.Name]
-			if !ok {
-				return Activity{}, fmt.Errorf("netlist %s: vector %d missing input %q", s.n.Name, vi, p.Name)
-			}
+		for pi, p := range s.n.Inputs {
+			v := s.streams[pi][vi]
 			for i, b := range p.Bits {
 				vals[b] = uint8(v>>i) & 1
 			}
@@ -62,9 +176,82 @@ func (s *Simulator) RunActivity(vectors []map[string]uint64) (Activity, error) {
 			prev[ci] = out
 		}
 	}
-	act := Activity{PerCell: toggles, Vectors: len(vectors)}
+	act := Activity{PerCell: toggles, Vectors: vectors}
 	for i := range act.PerCell {
-		act.PerCell[i] /= float64(len(vectors) - 1)
+		act.PerCell[i] /= float64(vectors - 1)
+	}
+	return act, nil
+}
+
+// runActivityLanes is the word-parallel path: vectors are processed in
+// blocks of 64, every net carrying one uint64 of lane values. Per block a
+// cell costs a handful of word operations instead of 64 truth-table
+// walks; toggles accumulate as integers via popcount, with the last lane
+// of each block carried into the next so block boundaries count too.
+//
+// PerCell is bit-identical to the scalar path: a cell has 1, 2 or 4
+// output pins, so every scalar partial sum n/len(Out) is an exact dyadic
+// rational and the scalar accumulation is exact — both paths compute the
+// same real number and round it identically in the final division.
+func (s *Simulator) runActivityLanes(vectors int) (Activity, error) {
+	cells := s.n.Cells
+	toggles := make([]int64, len(cells))
+	prev := make([][4]uint64, len(cells)) // last lane of the previous block, per pin
+
+	if s.lanes == nil {
+		s.lanes = make([]uint64, s.n.NumNets)
+	}
+	lanes := s.lanes
+	var in, out [4]uint64
+	for base := 0; base < vectors; base += 64 {
+		nl := vectors - base
+		if nl > 64 {
+			nl = 64
+		}
+		full := ^uint64(0)
+		if nl < 64 {
+			full = uint64(1)<<nl - 1
+		}
+		// Lanes whose consecutive-pair (v-1, v) exists: all valid lanes,
+		// minus lane 0 of the very first block (vector 0 has no
+		// predecessor).
+		pairMask := full
+		if base == 0 {
+			pairMask &^= 1
+		}
+		for i := range lanes {
+			lanes[i] = 0
+		}
+		lanes[Const1] = full
+		for pi, p := range s.n.Inputs {
+			vals := s.streams[pi][base : base+nl]
+			for i, b := range p.Bits {
+				var w uint64
+				for l, v := range vals {
+					w |= (v >> i & 1) << l
+				}
+				lanes[b] = w
+			}
+		}
+		for ci := range cells {
+			c := &cells[ci]
+			for j, net := range c.In {
+				in[j] = lanes[net]
+			}
+			evalCellLanes(c, &in, &out)
+			t := int64(0)
+			for j, net := range c.Out {
+				o := out[j]
+				lanes[net] = o
+				t += int64(bits.OnesCount64((o ^ (o<<1 | prev[ci][j])) & pairMask))
+				prev[ci][j] = o >> (nl - 1) & 1
+			}
+			toggles[ci] += t
+		}
+	}
+	act := Activity{PerCell: make([]float64, len(cells)), Vectors: vectors}
+	for i := range cells {
+		act.PerCell[i] = float64(toggles[i]) / float64(len(cells[i].Out)) / float64(vectors-1)
 	}
 	return act, nil
 }

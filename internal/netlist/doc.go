@@ -12,11 +12,21 @@
 //   - a bit-true Simulator for combinational netlists, used to
 //     cross-validate the word-level behavioural models in package arith
 //     (the Go analogue of the paper's MATLAB-vs-ModelSim loop, Fig 9);
+//   - switching-activity analysis (RunActivity / RunActivityStreams), the
+//     stimulus-driven toggle measurement package synth weights dynamic
+//     power by. The activity engine is lane-packed: 64 stimulus vectors
+//     evaluate at once, every net carrying a uint64 of lane values and
+//     every cell applying its logic function bitwise across all lanes
+//     (classic multi-pattern gate-level simulation). Toggle counts stay
+//     integer, so the result is bit-identical to the scalar one-vector-
+//     at-a-time oracle, which XBIOSIP_NO_KERNELS=1 (or SetLanePacking)
+//     keeps on the evaluation path for the CI reference run;
 //   - synthesis-style optimisation passes: constant propagation by partial
 //     evaluation of cell truth tables (this is how multiplications by fixed
 //     FIR coefficients collapse, exactly as a logic synthesiser would fold
 //     them) and dead-cell elimination.
 //
 // Physical reports (area / power / delay / energy) over netlists live in
-// package synth.
+// package synth; the process-wide cache that amortises a whole (stage,
+// configuration) characterisation lives in package energy.
 package netlist

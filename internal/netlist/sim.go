@@ -9,6 +9,10 @@ import "fmt"
 type Simulator struct {
 	n    *Netlist
 	vals []uint8
+	// Activity-analysis state (see activity.go): per-input stimulus
+	// streams and the 64-lane value word of every net.
+	streams [][]uint64
+	lanes   []uint64
 }
 
 // NewSimulator returns a Simulator for n. Netlists containing registers

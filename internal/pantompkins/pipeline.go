@@ -65,13 +65,16 @@ func (p *Pipeline) Config() Config { return p.cfg }
 
 // KernelTableBytes returns the live kernel table footprint of this design:
 // the bytes of every distinct product, squaring and chain-projection
-// table its five stages evaluate through (tables shared between stages —
-// or with other designs, via the global kernel cache — count once).
-// Exact stages are table-free, so the accurate pipeline reports zero.
+// table its five stages have actually materialized (tables shared between
+// stages — or with other designs, via the global kernel cache — count
+// once). Exact stages are table-free and wiring-chain interior taps build
+// their raw tables only when the per-sample path runs, so a batch-only
+// accurate pipeline reports zero and an approximate one mostly
+// projections.
 func (p *Pipeline) KernelTableBytes() int64 {
 	var total int64
 	tabs := map[*kernel.ConstMulTable]bool{}
-	projs := map[*uint32]bool{}
+	var projs []kernel.ProjTable
 	for _, f := range []*dsp.FIR{p.lpf, p.hpf, p.der} {
 		for _, t := range f.Tables() {
 			if !tabs[t] {
@@ -80,9 +83,16 @@ func (p *Pipeline) KernelTableBytes() int64 {
 			}
 		}
 		for _, pr := range f.ProjTables() {
-			if !projs[&pr[0]] {
-				projs[&pr[0]] = true
-				total += int64(len(pr)) * 4
+			dup := false
+			for _, q := range projs {
+				if q.Same(pr) {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				projs = append(projs, pr)
+				total += pr.Bytes()
 			}
 		}
 	}

@@ -122,6 +122,28 @@ func AnalyzeActivity(n *netlist.Netlist, vectors []map[string]uint64) (Report, e
 	if err != nil {
 		return Report{}, err
 	}
+	return ActivityReport(n, act), nil
+}
+
+// AnalyzeActivityStreams is AnalyzeActivity over packed per-port stimulus
+// streams (the allocation-light form the energy model drives).
+func AnalyzeActivityStreams(n *netlist.Netlist, ports []netlist.PortStimulus) (Report, netlist.Activity, error) {
+	sim, err := netlist.NewSimulator(n)
+	if err != nil {
+		return Report{}, netlist.Activity{}, err
+	}
+	act, err := sim.RunActivityStreams(ports)
+	if err != nil {
+		return Report{}, netlist.Activity{}, err
+	}
+	return ActivityReport(n, act), act, nil
+}
+
+// ActivityReport computes the activity-weighted report from a precomputed
+// switching-activity measurement of n (see AnalyzeActivity for the
+// weighting rule). Callers that cache a netlist's Activity — the energy
+// characterization cache — re-derive the report without re-simulating.
+func ActivityReport(n *netlist.Netlist, act netlist.Activity) Report {
 	r := Analyze(n)
 	const refActivity = 0.5
 	power := 0.0
@@ -134,7 +156,7 @@ func AnalyzeActivity(n *netlist.Netlist, vectors []map[string]uint64) (Report, e
 	}
 	r.Power = power
 	r.Energy = r.Power * r.Delay
-	return r, nil
+	return r
 }
 
 // Reduction holds baseline/approximate ratios for each physical metric
