@@ -3,24 +3,25 @@
 # suite), the same equivalence suite with the word-parallel kernels
 # force-disabled (the bit-serial oracle path, including the scalar
 # activity simulator), benchmark smoke passes in both modes, focused
-# -race passes over the two global caches' concurrent cold builds, and a
-# benchdiff smoke run over the checked-in snapshot.
+# -race passes over the two global caches' concurrent cold builds and
+# over the multi-patient streaming service, and a benchdiff smoke run
+# over the checked-in snapshot.
 
 GO ?= go
 
 # Benchmarks captured by `make bench-json` into BENCH_N.json snapshots.
-BENCH_JSON_PATTERN = KernelVsReference|PipelinePush|DSEWorkers|EvaluatorShards|Fig11ExplorationTime|Table2PreprocessingGrid|EnergyCharacterization|Activity
+BENCH_JSON_PATTERN = KernelVsReference|PipelinePush|DSEWorkers|EvaluatorShards|Fig11ExplorationTime|Table2PreprocessingGrid|EnergyCharacterization|Activity|Serve
 # Packages the bench-json pattern runs over.
 BENCH_JSON_PKGS = . ./internal/arith/kernel ./internal/netlist
 # Current snapshot file; bump per PR so the trajectory stays diffable.
-BENCH_SNAPSHOT = BENCH_5.json
+BENCH_SNAPSHOT = BENCH_6.json
 # Previous snapshot `make bench-diff` gates against.
-BENCH_BASELINE = BENCH_4.json
+BENCH_BASELINE = BENCH_5.json
 # Benchmarks that must exist in the current snapshot (catches a pattern
 # or harness regression silently dropping the new energy benchmarks).
-BENCH_REQUIRE = EnergyCharacterization/cold|Table2PreprocessingGrid/scratch|Activity/lanes
+BENCH_REQUIRE = EnergyCharacterization/cold|Table2PreprocessingGrid/scratch|Activity/lanes|Serve/sessions|Serve/latency
 
-.PHONY: all build vet test race race-arith race-energy test-reference bench bench-reference bench-json bench-diff bench-diff-smoke ci
+.PHONY: all build vet test race race-arith race-energy race-serve test-reference bench bench-reference bench-json bench-diff bench-diff-smoke ci
 
 all: build
 
@@ -48,6 +49,12 @@ race-arith:
 # entries.
 race-energy:
 	$(GO) test -race -count=1 ./internal/energy
+
+# The multi-patient streaming service under -race: concurrent Service
+# shards (one per goroutine, as deployed) over the shared kernel and
+# energy caches, plus the bit-identity/churn/eviction suite.
+race-serve:
+	$(GO) test -race -count=1 ./internal/serve
 
 # The kernel equivalence tests and the packages threaded through the
 # compiled kernels, re-run with XBIOSIP_NO_KERNELS so every plan delegates
@@ -90,4 +97,4 @@ bench-diff:
 bench-diff-smoke:
 	$(GO) run ./cmd/benchdiff -threshold 0.15 -bytes-threshold 0.15 -allocs-threshold 0.15 -require '$(BENCH_REQUIRE)' $(BENCH_SNAPSHOT) $(BENCH_SNAPSHOT) > /dev/null
 
-ci: build vet race race-arith race-energy test-reference bench bench-reference bench-diff-smoke
+ci: build vet race race-arith race-energy race-serve test-reference bench bench-reference bench-diff-smoke

@@ -12,6 +12,7 @@ package xbiosip_test
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"testing"
 
@@ -24,6 +25,7 @@ import (
 	"github.com/xbiosip/xbiosip/internal/energy"
 	"github.com/xbiosip/xbiosip/internal/experiments"
 	"github.com/xbiosip/xbiosip/internal/pantompkins"
+	"github.com/xbiosip/xbiosip/internal/serve"
 )
 
 var (
@@ -438,4 +440,95 @@ func BenchmarkNoiseRobustness(b *testing.B) {
 		out = experiments.FormatNoiseRobustness(rows)
 	}
 	b.Log("\n" + out)
+}
+
+// BenchmarkServe measures the multi-patient streaming service at the
+// wearable-monitor rate (360 Hz, B9 design): the sustained sessions/core
+// one single-goroutine Service shard multiplexes, and the p99
+// sample-to-event latency of live QRS events. One benchmark iteration is
+// one radio round — every session ingests one BLE-sized frame and the
+// service drains fully — so detection never falls more than one frame
+// behind acquisition.
+func BenchmarkServe(b *testing.B) {
+	gen := ecg.DefaultConfig()
+	gen.FS = 360
+	gen.Seed = 11
+	rec, err := gen.Generate("serve-360", 8*360)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var b9 pantompkins.Config
+	for i, st := range pantompkins.Stages {
+		k := []int{10, 12, 2, 8, 16}[i]
+		b9.Stage[st] = dsp.ArithConfig{LSBs: k, Add: approx.ApproxAdd5, Mul: approx.AppMultV1}
+	}
+
+	const frameN = 24
+	run := func(b *testing.B, sessions int, track bool) []int64 {
+		svc, err := serve.New(serve.Config{
+			FS:            360,
+			Pipeline:      b9,
+			MaxSessions:   sessions,
+			BufferSamples: 4 * frameN,
+			TrackLatency:  track,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		pos := make([]int, sessions)
+		seqs := make([]uint16, sessions)
+		var buf []byte
+		events := make([]serve.Event, 0, 4*sessions)
+		var lats []int64
+		round := func(collect bool) {
+			for sess := 0; sess < sessions; sess++ {
+				p := pos[sess]
+				if p+frameN > len(rec.Samples) {
+					p = 0
+				}
+				buf = serve.AppendFrame(buf[:0], uint32(sess+1), seqs[sess], 0, rec.Samples[p:p+frameN])
+				if _, err := svc.Ingest(buf); err != nil {
+					b.Fatal(err)
+				}
+				seqs[sess]++
+				pos[sess] = p + frameN
+			}
+			events = svc.Drain(events[:0])
+			if collect {
+				for _, ev := range events {
+					if ev.Kind == serve.EventBeat {
+						lats = append(lats, ev.LatencyNs)
+					}
+				}
+			}
+		}
+		round(false) // connect every session and build its pipeline off the clock
+		lats = lats[:0]
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			round(track)
+		}
+		b.StopTimer()
+		total := float64(b.N) * float64(sessions) * frameN
+		if sec := b.Elapsed().Seconds(); sec > 0 {
+			sps := total / sec
+			b.ReportMetric(sps/360, "sessions/core")
+			b.ReportMetric(1e9*sec/total, "ns/sample")
+		}
+		return lats
+	}
+
+	b.Run("sessions", func(b *testing.B) {
+		run(b, 4096, false)
+	})
+	b.Run("latency", func(b *testing.B) {
+		lats := run(b, 256, true)
+		if len(lats) == 0 {
+			return
+		}
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		p99 := lats[len(lats)*99/100]
+		b.ReportMetric(float64(p99)/1e3, "p99-latency-us")
+	})
 }

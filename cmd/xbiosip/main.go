@@ -6,7 +6,7 @@
 //	xbiosip [flags] <experiment>
 //
 // Experiments: table1, table2, fig1, fig2, fig8, fig10, fig11, fig12,
-// fig13, dse, synth, all.
+// fig13, ablation, noise, stream, serve, dse, synth, all.
 //
 // Flags -records and -samples control the synthetic NSRDB-like evaluation
 // set (the paper's unit is one 20,000-sample recording). -workers sets the
@@ -36,6 +36,7 @@ func main() {
 	accuracy := flag.Float64("accuracy", 1.0, "final peak-detection-accuracy constraint [0,1]")
 	workers := flag.Int("workers", 0, "design-evaluation workers (0 = all CPUs, 1 = sequential; results are identical)")
 	shards := flag.Int("shards", 0, "record shards per design evaluation (0 = one per record, 1 = sequential records; results are identical)")
+	sessions := flag.Int("sessions", 64, "concurrent patient sessions for the serve experiment")
 	verbose := flag.Bool("v", false, "report kernel working-set statistics (per-design table footprint, global table cache)")
 	flag.Usage = usage
 	flag.Parse()
@@ -43,7 +44,7 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *records, *samples, *psnr, *accuracy, *workers, *shards, *verbose); err != nil {
+	if err := run(flag.Arg(0), *records, *samples, *psnr, *accuracy, *workers, *shards, *sessions, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "xbiosip:", err)
 		os.Exit(1)
 	}
@@ -92,6 +93,8 @@ experiments:
   ablation stage energy under the three accounting policies
   noise    detection accuracy vs EMG noise, accurate vs B9
   stream   push every record through the B9 detector sample by sample
+  serve    multiplex -sessions framed patient streams through the
+           multi-patient service (B9), reporting live sessions/core
   dse      run the full two-gate XBioSiP methodology
   synth    synthesis reports of the five accurate stage netlists
   all      everything above
@@ -101,7 +104,7 @@ flags:
 	flag.PrintDefaults()
 }
 
-func run(what string, records, samples int, psnr, accuracy float64, workers, shards int, verbose bool) error {
+func run(what string, records, samples int, psnr, accuracy float64, workers, shards, sessions int, verbose bool) error {
 	// Experiments that need no evaluation environment.
 	switch what {
 	case "table1":
@@ -205,11 +208,22 @@ func run(what string, records, samples int, psnr, accuracy float64, workers, sha
 		}
 		fmt.Print(experiments.FormatStreaming(s.Config(b9.LSBs), rows), "\n")
 	}
+	if all || what == "serve" {
+		b9 := experiments.Fig12Configs[9]
+		if b9.Name != "B9" {
+			return fmt.Errorf("config table changed: %s", b9.Name)
+		}
+		r, err := s.Serve(s.Config(b9.LSBs), sessions)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatServe(s.Config(b9.LSBs), r), "\n")
+	}
 	if all || what == "dse" {
 		return runMethodology(s, psnr, accuracy, verbose)
 	}
 	switch what {
-	case "all", "fig2", "fig8", "fig10", "table2", "fig11", "fig12", "fig13", "ablation", "noise", "stream", "dse":
+	case "all", "fig2", "fig8", "fig10", "table2", "fig11", "fig12", "fig13", "ablation", "noise", "stream", "serve", "dse":
 		return nil
 	}
 	return fmt.Errorf("unknown experiment %q (run without arguments for usage)", what)

@@ -1,11 +1,11 @@
-// Streaming monitor: the near-sensor deployment mode. Samples arrive one
-// at a time — there is no pre-loaded array on a wearable — so the whole
-// algorithm runs through the streaming API: Pipeline.Stream couples the
-// five processing stages with the incremental StreamDetector, whose
-// adaptive thresholds, RR statistics and searchback advance in O(1) per
-// pushed sample. Nothing buffers the record and nothing rescans it, yet
-// the detected beats are bit-identical to batch processing plus the
-// whole-record detector — which this example verifies live.
+// Streaming monitor: a multi-patient edge gateway built on the serve
+// service. Each simulated wearable frames its ADC samples into BLE-sized
+// packets (8-byte header + int16 samples); the gateway ingests the
+// interleaved packet streams into one serve.Service — a struct-of-arrays
+// session pool with no per-patient goroutine — and consumes live QRS
+// events per patient as it drains. The service guarantees the events are
+// bit-identical to running pantompkins.Pipeline.Stream over each record
+// alone, which this example verifies at the end.
 package main
 
 import (
@@ -16,6 +16,13 @@ import (
 	"github.com/xbiosip/xbiosip/internal/dsp"
 	"github.com/xbiosip/xbiosip/internal/ecg"
 	"github.com/xbiosip/xbiosip/internal/pantompkins"
+	"github.com/xbiosip/xbiosip/internal/serve"
+)
+
+const (
+	patients = 3
+	samples  = 6000 // 30 s per patient
+	frameN   = 16   // samples per radio packet
 )
 
 func main() {
@@ -26,39 +33,87 @@ func main() {
 		k := []int{10, 12, 2, 8, 16}[i]
 		b9.Stage[st] = dsp.ArithConfig{LSBs: k, Add: approx.ApproxAdd5, Mul: approx.AppMultV1}
 	}
-	pipe, err := pantompkins.New(b9)
+
+	// The patients' records; all share one sampling rate.
+	recs := make([]*ecg.Record, patients)
+	for i := range recs {
+		rec, err := ecg.NSRDBRecord(i, samples)
+		if err != nil {
+			log.Fatal(err)
+		}
+		recs[i] = rec
+	}
+	fs := recs[0].FS
+
+	// The gateway.
+	svc, err := serve.New(serve.Config{FS: fs, Pipeline: b9, MaxSessions: patients})
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// Three patients stream 30 s each through ONE pipeline instance —
-	// Stream resets the stages and the detector between records.
-	for patient := 0; patient < 3; patient++ {
-		rec, err := ecg.NSRDBRecord(patient, 6000)
-		if err != nil {
-			log.Fatal(err)
-		}
-		stream := pipe.Stream(rec.FS)
-		beatsAt := make([]int, 0, 64) // sample index when each beat surfaced
-		for i, x := range rec.Samples {
-			// One ADC sample in; stage outputs and beat decisions advance
-			// together, with the detector's bounded ~50 ms lookahead.
-			stream.Push(x)
-			if live := stream.Detector().Detection(); len(live.Peaks) > len(beatsAt) {
-				for range live.Peaks[len(beatsAt):] {
-					beatsAt = append(beatsAt, i)
-				}
+	// Wearable side: frame each record into packets. Patient ids are the
+	// session ids on the wire.
+	type wearable struct {
+		pos int
+		seq uint16
+	}
+	wear := make([]wearable, patients)
+
+	// Gateway side: live per-patient beat lists assembled from drain
+	// events.
+	beats := make([][]int, patients)
+	events := make([]serve.Event, 0, 256)
+	var buf []byte
+
+	active := patients
+	for active > 0 {
+		// One radio round: every live wearable delivers one packet.
+		for id := 0; id < patients; id++ {
+			w := &wear[id]
+			rec := recs[id]
+			if w.pos >= len(rec.Samples) {
+				continue
+			}
+			n := frameN
+			if w.pos+n > len(rec.Samples) {
+				n = len(rec.Samples) - w.pos
+			}
+			flags := uint8(0)
+			if w.pos == 0 {
+				flags |= serve.FlagStart
+			}
+			if w.pos+n == len(rec.Samples) {
+				flags |= serve.FlagEnd
+			}
+			buf = serve.AppendFrame(buf[:0], uint32(id), w.seq, flags, rec.Samples[w.pos:w.pos+n])
+			if _, err := svc.Ingest(buf); err != nil {
+				log.Fatal(err)
+			}
+			w.seq++
+			w.pos += n
+			if w.pos >= len(rec.Samples) {
+				active--
 			}
 		}
-		det := stream.Finish()
+		// The gateway drains after every radio round: detection advances
+		// at most one packet behind acquisition.
+		events = svc.Drain(events[:0])
+		for _, ev := range events {
+			if ev.Kind == serve.EventBeat {
+				beats[ev.Session] = append(beats[ev.Session], ev.Peak)
+			}
+		}
+	}
 
-		fmt.Printf("%s: %.0f s streamed, %d beats (reference %d)\n",
-			rec.Name, rec.DurationSec(), len(det.Peaks), len(rec.Annotations))
+	// Report each patient like a bedside monitor would.
+	for id, rec := range recs {
+		fmt.Printf("%s: %.0f s streamed in %d-sample frames, %d beats (reference %d)\n",
+			rec.Name, rec.DurationSec(), frameN, len(beats[id]), len(rec.Annotations))
 		fmt.Print("  heart rate: ")
-		window := 10 * rec.FS
+		window := 10 * fs
 		for start := 0; start+window <= len(rec.Samples); start += window {
 			first, last, n := -1, -1, 0
-			for _, p := range det.Peaks {
+			for _, p := range beats[id] {
 				if p < start || p >= start+window {
 					continue
 				}
@@ -69,36 +124,38 @@ func main() {
 				n++
 			}
 			if n >= 2 {
-				bpm := 60 * float64(n-1) * float64(rec.FS) / float64(last-first)
+				bpm := 60 * float64(n-1) * float64(fs) / float64(last-first)
 				fmt.Printf("%3.0f ", bpm)
 			} else {
 				fmt.Print("  - ")
 			}
 		}
 		fmt.Println("bpm (10 s windows)")
-		if len(beatsAt) > 0 {
-			lag := 0
-			for i, at := range beatsAt {
-				if d := at - det.MWIPeaks[i]; d > lag {
-					lag = d
-				}
-			}
-			fmt.Printf("  beats surfaced at most %d samples (%.0f ms) after their MWI peak\n",
-				lag, 1000*float64(lag)/float64(rec.FS))
-		}
+	}
+	st := svc.Stats()
+	fmt.Printf("gateway: %d frames, %d samples, %d sessions finished\n",
+		st.Frames, st.Samples, st.Finishes)
 
-		// The streaming path is bit-identical to batch processing followed
-		// by the whole-record detector.
-		batch := pipe.Run(rec.Samples)
-		ref := pantompkins.Detect(batch.Filtered, batch.Integrated, rec.FS)
-		if len(ref.Peaks) != len(det.Peaks) {
-			log.Fatalf("stream/batch divergence: %d vs %d beats", len(det.Peaks), len(ref.Peaks))
+	// The service invariant: every patient's beats are bit-identical to a
+	// dedicated Pipeline.Stream over the same record.
+	pipe, err := pantompkins.New(b9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for id, rec := range recs {
+		stream := pipe.Stream(rec.FS)
+		for _, x := range rec.Samples {
+			stream.Push(x)
+		}
+		ref := stream.Finish()
+		if len(ref.Peaks) != len(beats[id]) {
+			log.Fatalf("patient %d: gateway saw %d beats, dedicated stream %d", id, len(beats[id]), len(ref.Peaks))
 		}
 		for i := range ref.Peaks {
-			if ref.Peaks[i] != det.Peaks[i] {
-				log.Fatalf("stream/batch divergence at beat %d", i)
+			if ref.Peaks[i] != beats[id][i] {
+				log.Fatalf("patient %d: beat %d diverged", id, i)
 			}
 		}
 	}
-	fmt.Println("\nstreamed detections verified bit-identical to whole-record batch detection")
+	fmt.Println("\nmultiplexed detections verified bit-identical to dedicated per-patient streams")
 }

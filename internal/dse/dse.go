@@ -138,6 +138,13 @@ type explorer struct {
 	ownEng bool                      // whether the explorer must close eng
 	chosen map[pantompkins.Stage]dsp.ArithConfig
 	result Result
+	// scanCfgs/scanQs are the candidate-scan scratch, recycled across
+	// every scan of one run — all three phases of Algorithm 1 share one
+	// buffer pair instead of re-allocating per phase. The quality slice
+	// scan returns aliases scanQs and is valid until the next scan call.
+	scanCfgs  []pantompkins.Config
+	scanQs    []float64
+	scanBatch []float64
 }
 
 // newExplorer wires the evaluation engine per Options: a caller-shared
@@ -184,12 +191,16 @@ func (e *explorer) evalOne(cfg pantompkins.Config) (float64, error) {
 }
 
 // evalChunk evaluates a slice of configurations, in parallel when an
-// engine is available.
+// engine is available. The sequential path returns a slice aliasing the
+// explorer's batch scratch, valid until the next evalChunk call.
 func (e *explorer) evalChunk(cfgs []pantompkins.Config) ([]float64, error) {
 	if e.eng != nil {
 		return e.eng.EvaluateBatch(cfgs)
 	}
-	out := make([]float64, len(cfgs))
+	if cap(e.scanBatch) < len(cfgs) {
+		e.scanBatch = make([]float64, len(cfgs))
+	}
+	out := e.scanBatch[:len(cfgs)]
 	for i, cfg := range cfgs {
 		q, err := e.eval(cfg)
 		if err != nil {
@@ -221,7 +232,10 @@ const (
 // is replayed in order from the cache, and only an error the sequential
 // walk would have reached (no stop before it) propagates.
 func (e *explorer) scan(cands []map[pantompkins.Stage]dsp.ArithConfig, phase int, mode scanMode) ([]float64, int, error) {
-	cfgs := make([]pantompkins.Config, len(cands))
+	if cap(e.scanCfgs) < len(cands) {
+		e.scanCfgs = make([]pantompkins.Config, len(cands))
+	}
+	cfgs := e.scanCfgs[:len(cands)]
 	for i, ov := range cands {
 		cfgs[i] = e.config(ov)
 	}
@@ -238,7 +252,10 @@ func (e *explorer) scan(cands []map[pantompkins.Stage]dsp.ArithConfig, phase int
 	if chunk < 1 {
 		chunk = 1
 	}
-	qs := make([]float64, 0, len(cfgs))
+	if cap(e.scanQs) < len(cfgs) {
+		e.scanQs = make([]float64, 0, len(cfgs))
+	}
+	qs := e.scanQs[:0]
 	// step traces one candidate and reports whether the scan stops here.
 	step := func(idx int, q float64) bool {
 		passed := q >= e.opt.Constraint

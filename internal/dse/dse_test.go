@@ -294,3 +294,34 @@ func TestMeasuredCost(t *testing.T) {
 		t.Errorf("12 evals x 300 s = %v h, want 1", c.Hours)
 	}
 }
+
+// TestScanScratchReuse guards the per-run scan scratch: once an explorer
+// has scanned a candidate list, further scans of the same size — the way
+// the later phases of Algorithm 1 revisit candidate sweeps — must reuse
+// the configuration and quality buffers. Sequential mode with a
+// pre-grown trace isolates the scan itself, so a warm scan allocates
+// nothing.
+func TestScanScratchReuse(t *testing.T) {
+	weights := map[pantompkins.Stage]float64{pantompkins.LPF: 2}
+	opt := defaultOptions(40, pantompkins.LPF)
+	e := newExplorer(opt, syntheticQuality(weights), syntheticEnergy(nil))
+	defer e.close()
+	var cands []map[pantompkins.Stage]dsp.ArithConfig
+	for _, k := range opt.LSBs[pantompkins.LPF] {
+		cands = append(cands, map[pantompkins.Stage]dsp.ArithConfig{
+			pantompkins.LPF: {LSBs: k, Add: approx.ApproxAdd5, Mul: approx.AppMultV1},
+		})
+	}
+	if _, _, err := e.scan(cands, 1, scanAll); err != nil { // warm the buffers
+		t.Fatal(err)
+	}
+	explored := e.result.Explored[:0]
+	if avg := testing.AllocsPerRun(50, func() {
+		e.result.Explored = explored
+		if _, _, err := e.scan(cands, 1, scanAll); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Fatalf("warm scan allocates %.1f objects/run; scratch not reused", avg)
+	}
+}

@@ -19,18 +19,26 @@ import (
 // outside it, first insert wins (a racing duplicate build produces an
 // identical entry and is discarded).
 //
-// A key also carries a fingerprint of the stage's stimulus signal and the
-// vector/warmup window, so models characterised over different records or
-// analysis windows never alias.
+// A key also carries two independent fingerprints of the stage's stimulus
+// signal plus the vector/warmup window, so models characterised over
+// different records or analysis windows never alias. Two fingerprints
+// because a single 64-bit FNV match is not proof of stimulus identity: a
+// collision would silently hand a model another record's Activity and
+// Report. With the key carrying both the FNV-1a fingerprint and an
+// independent splitmix-style one (energy.fingerprint2), colliding stimuli
+// land on distinct keys unless they collide under both mixes at once,
+// without the O(vectors) full-stimulus comparison a verify-on-hit scheme
+// would pay on every warm lookup.
 
 // charKey identifies one characterization: the stage, its canonical
 // arithmetic configuration (zero approximated LSBs make the elementary
-// kinds dead parameters, exactly like sched.Canonical), the stimulus
-// fingerprint and the analysis window.
+// kinds dead parameters, exactly like sched.Canonical), the two stimulus
+// fingerprints and the analysis window.
 type charKey struct {
 	stage   pantompkins.Stage
 	cfg     dsp.ArithConfig
 	stim    uint64
+	stim2   uint64
 	vectors int
 	warmup  int
 }
@@ -45,12 +53,15 @@ func canonicalStageCfg(cfg dsp.ArithConfig) dsp.ArithConfig {
 }
 
 // charEntry is one cached characterization: the optimised combinational
-// stage netlist, its measured switching activity and the activity-weighted
-// synthesis report (per-sample energy included). Entries are immutable.
+// stage netlist, its measured switching activity, the activity-weighted
+// synthesis report (per-sample energy included) and the activity-blind
+// report of the same optimised netlist (library power; what
+// StageOptimizedReport serves). Entries are immutable.
 type charEntry struct {
 	net *netlist.Netlist
 	act netlist.Activity
 	rep synth.Report
+	opt synth.Report
 }
 
 var charCache struct {

@@ -8,6 +8,7 @@ import (
 	"github.com/xbiosip/xbiosip/internal/ecg"
 	"github.com/xbiosip/xbiosip/internal/netlist"
 	"github.com/xbiosip/xbiosip/internal/pantompkins"
+	"github.com/xbiosip/xbiosip/internal/synth"
 )
 
 // freshModel builds a model over record 0 with test-sized vectors,
@@ -195,6 +196,96 @@ func TestConcurrentColdBuilds(t *testing.T) {
 	}
 	if st.Cells == 0 || st.ActivityBytes == 0 {
 		t.Fatalf("empty accounting: %+v", st)
+	}
+}
+
+// TestOptimizedReportServedFromCache checks the ablation-path fix: after
+// the activity path characterizes a stage, StageOptimizedReport must be a
+// pure cache hit (no re-synthesis), and its report must equal an
+// independent activity-blind analysis of the same cached netlist.
+func TestOptimizedReportServedFromCache(t *testing.T) {
+	m := freshModel(t)
+	cfgs := []dsp.ArithConfig{dsp.Accurate(), ama5(8)}
+	for _, s := range pantompkins.Stages {
+		for _, cfg := range cfgs {
+			if _, err := m.StageReport(s, cfg); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	st := CacheStats()
+	misses, hits := st.Misses, st.Hits
+	for _, s := range pantompkins.Stages {
+		for _, cfg := range cfgs {
+			opt, err := m.StageOptimizedReport(s, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			net, _, err := m.StageActivity(s, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := synth.Analyze(net)
+			if opt.Area != want.Area || opt.Power != want.Power ||
+				opt.Delay != want.Delay || opt.Energy != want.Energy {
+				t.Fatalf("stage %v %v: optimised report %+v != Analyze(net) %+v", s, cfg, opt, want)
+			}
+			if opt.Energy <= 0 {
+				t.Fatalf("stage %v %v: non-positive optimised energy %v", s, cfg, opt.Energy)
+			}
+		}
+	}
+	if st = CacheStats(); st.Misses != misses {
+		t.Fatalf("StageOptimizedReport re-characterized: misses %d -> %d", misses, st.Misses)
+	} else if st.Hits == hits {
+		t.Fatal("StageOptimizedReport recorded no cache hits")
+	}
+}
+
+// TestStimulusFingerprintCollisionDoesNotAlias crafts a full collision of
+// the primary FNV fingerprint — two different stimuli presenting identical
+// primary hashes — and requires the cache to keep them apart via the
+// second independent fingerprint instead of silently serving one record's
+// characterization for the other.
+func TestStimulusFingerprintCollisionDoesNotAlias(t *testing.T) {
+	DropCaches()
+	t.Cleanup(DropCaches)
+	stims := make([]*Stimulus, 2)
+	for i := range stims {
+		rec, err := ecg.NSRDBRecord(i, 3000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stims[i], err = NewStimulus(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Simulate the collision: overwrite record 1's primary fingerprints
+	// with record 0's. The signals (and second fingerprints) still differ.
+	stims[1].hash = stims[0].hash
+	if stims[1].hash2 == stims[0].hash2 {
+		t.Fatal("second fingerprints collided too — test premise broken")
+	}
+	var nets [2]*netlist.Netlist
+	for i, stim := range stims {
+		m := NewModel(stim)
+		m.Vectors = 200
+		net, act, err := m.StageActivity(pantompkins.SQR, ama5(8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(act.PerCell) == 0 {
+			t.Fatalf("model %d: empty activity", i)
+		}
+		nets[i] = net
+	}
+	st := CacheStats()
+	if st.Misses != 2 || st.Entries != 2 {
+		t.Fatalf("colliding primary fingerprints aliased a characterization: %+v", st)
+	}
+	if nets[0] == nets[1] {
+		t.Fatal("both stimuli were served the same cached entry")
 	}
 }
 

@@ -44,6 +44,7 @@ import (
 type Stimulus struct {
 	inputs [pantompkins.NumStages][]int64
 	hash   [pantompkins.NumStages]uint64
+	hash2  [pantompkins.NumStages]uint64
 }
 
 // fingerprint hashes a stage signal (FNV-1a over the samples plus the
@@ -61,6 +62,33 @@ func fingerprint(sig []int64) uint64 {
 			h = (h ^ (u >> b & 0xff)) * prime64
 		}
 	}
+	return h
+}
+
+// fingerprint2 is a second, independent hash of a stage signal
+// (splitmix64-style finalizers folded into a multiply-xor chain). The
+// cache key carries both fingerprints: two signals alias an entry only if
+// they collide under FNV-1a *and* under this mix simultaneously, so a
+// crafted or accidental FNV collision cannot silently return another
+// stimulus's characterization (see cache.go).
+func fingerprint2(sig []int64) uint64 {
+	const (
+		gold  = 0x9e3779b97f4a7c15
+		mix1  = 0xbf58476d1ce4e5b9
+		mix2  = 0x94d049bb133111eb
+		fold  = 0xff51afd7ed558ccd
+	)
+	h := uint64(gold) ^ uint64(len(sig))*mix1
+	for _, s := range sig {
+		x := uint64(s) + gold
+		x ^= x >> 30
+		x *= mix1
+		x ^= x >> 27
+		x *= mix2
+		x ^= x >> 31
+		h = (h ^ x) * fold
+	}
+	h ^= h >> 33
 	return h
 }
 
@@ -84,6 +112,7 @@ func NewStimulus(rec *ecg.Record) (*Stimulus, error) {
 	st.inputs[pantompkins.MWI] = out.Squared
 	for s := range st.inputs {
 		st.hash[s] = fingerprint(st.inputs[s])
+		st.hash2[s] = fingerprint2(st.inputs[s])
 	}
 	return st, nil
 }
@@ -162,8 +191,11 @@ func stageNetlist(s pantompkins.Stage, cfg dsp.ArithConfig) (*netlist.Netlist, e
 	return netlist.Optimize(n, nil)
 }
 
-// characterize builds one cache entry from scratch: synthesize, simulate,
-// weight. It runs outside the cache lock; see storeChar.
+// characterize builds one cache entry from scratch: synthesize, analyze
+// the optimised netlist once, simulate, weight. The activity-blind report
+// and the activity-weighted one come from the same analysis (see
+// synth.ActivityWeight), so the entry can answer both StageReport and
+// StageOptimizedReport. It runs outside the cache lock; see storeChar.
 func (m *Model) characterize(s pantompkins.Stage, cfg dsp.ArithConfig) (*charEntry, error) {
 	n, err := stageNetlist(s, cfg)
 	if err != nil {
@@ -173,17 +205,29 @@ func (m *Model) characterize(s pantompkins.Stage, cfg dsp.ArithConfig) (*charEnt
 	if err != nil {
 		return nil, err
 	}
-	rep, act, err := synth.AnalyzeActivityStreams(n, ports)
+	sim, err := netlist.NewSimulator(n)
 	if err != nil {
 		return nil, err
 	}
-	return &charEntry{net: n, act: act, rep: rep}, nil
+	act, err := sim.RunActivityStreams(ports)
+	if err != nil {
+		return nil, err
+	}
+	opt := synth.Analyze(n)
+	return &charEntry{net: n, act: act, rep: synth.ActivityWeight(opt, n, act), opt: opt}, nil
 }
 
 // stageChar returns the (cached) characterization of one stage
 // configuration.
 func (m *Model) stageChar(s pantompkins.Stage, cfg dsp.ArithConfig) (*charEntry, error) {
-	key := charKey{stage: s, cfg: canonicalStageCfg(cfg), stim: m.stim.hash[s], vectors: m.Vectors, warmup: m.Warmup}
+	key := charKey{
+		stage:   s,
+		cfg:     canonicalStageCfg(cfg),
+		stim:    m.stim.hash[s],
+		stim2:   m.stim.hash2[s],
+		vectors: m.Vectors,
+		warmup:  m.Warmup,
+	}
 	if e, ok := lookupChar(key); ok {
 		return e, nil
 	}
@@ -202,6 +246,21 @@ func (m *Model) StageReport(s pantompkins.Stage, cfg dsp.ArithConfig) (synth.Rep
 		return synth.Report{}, err
 	}
 	return e.rep, nil
+}
+
+// StageOptimizedReport returns the activity-blind synthesis report of the
+// optimised stage netlist — what synth.AnalyzeOptimized reports over the
+// combinational stage, with library (0.5-activity) power. It is served
+// from the same cache entry as StageReport, so accounting policies that
+// compare optimised-netlist analysis against activity-weighted analysis
+// (the energy-accounting ablation) never re-synthesize a stage the
+// activity path already characterized.
+func (m *Model) StageOptimizedReport(s pantompkins.Stage, cfg dsp.ArithConfig) (synth.Report, error) {
+	e, err := m.stageChar(s, cfg)
+	if err != nil {
+		return synth.Report{}, err
+	}
+	return e.opt, nil
 }
 
 // StageActivity returns the switching-activity measurement and optimised

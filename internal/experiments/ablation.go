@@ -67,12 +67,19 @@ func (s *Setup) EnergyAccountingAblation() ([]AblationRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		opt, err := reduction(func(n *netlist.Netlist) (synth.Report, error) {
-			return synth.AnalyzeOptimized(n, nil)
-		})
+		// Optimised policy: the activity-blind report of the optimised
+		// combinational stage, served from the same characterization-cache
+		// entry the activity policy fills — an AnalyzeOptimized call here
+		// would re-synthesize a stage the energy model already built.
+		optBase, err := s.Energy.StageOptimizedReport(st, accCfg)
 		if err != nil {
 			return nil, err
 		}
+		optApp, err := s.Energy.StageOptimizedReport(st, appCfg)
+		if err != nil {
+			return nil, err
+		}
+		opt := synth.Reductions(optBase, optApp).Energy
 		actBase, err := s.Energy.StageReport(st, accCfg)
 		if err != nil {
 			return nil, err

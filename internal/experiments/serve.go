@@ -1,0 +1,190 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"github.com/xbiosip/xbiosip/internal/metrics"
+	"github.com/xbiosip/xbiosip/internal/pantompkins"
+	"github.com/xbiosip/xbiosip/internal/serve"
+)
+
+// ServeRow aggregates the sessions of one record in the multi-patient
+// service scenario.
+type ServeRow struct {
+	Record   string
+	Sessions int
+	Samples  int
+	Beats    int
+	RefBeats int
+	Accuracy float64
+}
+
+// ServeResult is the outcome of the multi-patient service scenario:
+// per-record session rows plus the service counters and the sustained
+// multiplexing throughput.
+type ServeResult struct {
+	Rows    []ServeRow
+	Stats   serve.Stats
+	FS      int
+	Elapsed time.Duration
+	// SamplesPerSec is the sustained single-goroutine processing rate;
+	// SessionsPerCore is that rate divided by the session sampling rate —
+	// how many live patients one core keeps up with.
+	SamplesPerSec   float64
+	SessionsPerCore float64
+}
+
+// Serve multiplexes sessions concurrent patient streams — the evaluation
+// records, round-robin — through one serve.Service: each record is framed
+// into BLE-sized packets, ingested interleaved across all sessions, and
+// drained live. Every session's detected peaks are required to be
+// bit-identical to the reference Pipeline.Stream over its record (the
+// service invariant), so the reported accuracy is exactly the streaming
+// detector's accuracy; on top of that the scenario reports the sustained
+// sessions/core the single-goroutine service achieves.
+func (s *Setup) Serve(cfg pantompkins.Config, sessions int) (*ServeResult, error) {
+	if sessions <= 0 {
+		sessions = 64
+	}
+	if len(s.Records) == 0 {
+		return nil, fmt.Errorf("experiments: no evaluation records")
+	}
+	fs := s.Records[0].FS
+
+	// Reference detections, one per record.
+	p, err := pantompkins.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	refPeaks := make([][]int, len(s.Records))
+	for ri, rec := range s.Records {
+		st := p.Stream(rec.FS)
+		for _, x := range rec.Samples {
+			st.Push(x)
+		}
+		refPeaks[ri] = append([]int(nil), st.Finish().Peaks...)
+	}
+
+	svc, err := serve.New(serve.Config{FS: fs, Pipeline: cfg, MaxSessions: sessions})
+	if err != nil {
+		return nil, err
+	}
+
+	const frameN = 32
+	type cursor struct {
+		pos int
+		seq uint16
+	}
+	curs := make([]cursor, sessions)
+	peaks := make([][]int, sessions)
+	finished := make([]bool, sessions)
+	recOf := func(sess int) int { return sess % len(s.Records) }
+
+	var buf []byte
+	var events []serve.Event
+	active := sessions
+	start := time.Now()
+	for active > 0 {
+		for sess := 0; sess < sessions; sess++ {
+			c := &curs[sess]
+			samples := s.Records[recOf(sess)].Samples
+			if c.pos >= len(samples) {
+				continue
+			}
+			n := frameN
+			if c.pos+n > len(samples) {
+				n = len(samples) - c.pos
+			}
+			flags := uint8(0)
+			if c.pos == 0 {
+				flags = serve.FlagStart
+			}
+			if c.pos+n == len(samples) {
+				flags |= serve.FlagEnd
+			}
+			buf = serve.AppendFrame(buf[:0], uint32(sess+1), c.seq, flags, samples[c.pos:c.pos+n])
+			if _, err := svc.Ingest(buf); err != nil {
+				return nil, err
+			}
+			c.seq++
+			c.pos += n
+			if c.pos >= len(samples) {
+				active--
+			}
+		}
+		events = svc.Drain(events[:0])
+		for _, ev := range events {
+			sess := int(ev.Session) - 1
+			switch ev.Kind {
+			case serve.EventBeat:
+				peaks[sess] = append(peaks[sess], ev.Peak)
+			case serve.EventFinished:
+				finished[sess] = true
+			}
+		}
+	}
+	elapsed := time.Since(start)
+
+	// Bit-identity gate: every session must reproduce its record's
+	// reference detection exactly.
+	for sess := 0; sess < sessions; sess++ {
+		if !finished[sess] {
+			return nil, fmt.Errorf("experiments: session %d did not finish", sess+1)
+		}
+		want := refPeaks[recOf(sess)]
+		if len(peaks[sess]) != len(want) {
+			return nil, fmt.Errorf("experiments: session %d detected %d beats, reference %d",
+				sess+1, len(peaks[sess]), len(want))
+		}
+		for i := range want {
+			if peaks[sess][i] != want[i] {
+				return nil, fmt.Errorf("experiments: session %d peak %d diverged from the reference", sess+1, i)
+			}
+		}
+	}
+
+	res := &ServeResult{Stats: svc.Stats(), FS: fs, Elapsed: elapsed}
+	for ri, rec := range s.Records {
+		row := ServeRow{Record: rec.Name, Samples: len(rec.Samples), RefBeats: len(rec.Annotations)}
+		for sess := 0; sess < sessions; sess++ {
+			if recOf(sess) == ri {
+				row.Sessions++
+			}
+		}
+		if row.Sessions == 0 {
+			continue
+		}
+		row.Beats = len(refPeaks[ri])
+		m, err := metrics.MatchPeaks(rec.Annotations, refPeaks[ri], s.Eval.Tolerance)
+		if err != nil {
+			return nil, err
+		}
+		row.Accuracy = m.Sensitivity()
+		res.Rows = append(res.Rows, row)
+	}
+	if sec := elapsed.Seconds(); sec > 0 {
+		res.SamplesPerSec = float64(res.Stats.Samples) / sec
+		res.SessionsPerCore = res.SamplesPerSec / float64(fs)
+	}
+	return res, nil
+}
+
+// FormatServe renders the multi-patient service scenario.
+func FormatServe(cfg pantompkins.Config, r *ServeResult) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Serve workload: %v, framed ingest, live per-session detection\n", cfg)
+	fmt.Fprintf(&sb, "%-12s %9s %9s %7s %9s %9s\n", "record", "sessions", "samples", "beats", "reference", "accuracy")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "%-12s %9d %9d %7d %9d %8.2f%%\n",
+			row.Record, row.Sessions, row.Samples, row.Beats, row.RefBeats, 100*row.Accuracy)
+	}
+	st := r.Stats
+	fmt.Fprintf(&sb, "service: %d frames, %d samples, %d connects, %d finishes (%d evictions, %d dup, %d gap)\n",
+		st.Frames, st.Samples, st.Connects, st.Finishes, st.Evictions, st.DupFrames, st.GapFrames)
+	fmt.Fprintf(&sb, "throughput: %.0f samples/s on one goroutine = %.0f live sessions/core at %d Hz (GOMAXPROCS %d)\n",
+		r.SamplesPerSec, r.SessionsPerCore, r.FS, runtime.GOMAXPROCS(0))
+	return sb.String()
+}

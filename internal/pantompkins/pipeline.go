@@ -212,6 +212,17 @@ func (s *Stream) Push(x int16) StreamSample {
 // Detector exposes the incremental detector (for live beat inspection).
 func (s *Stream) Detector() *StreamDetector { return s.det }
 
+// Restart clears the pipeline stages and the incremental detector in
+// place, beginning a fresh detection session on the same hardware without
+// allocating: the detector keeps its grown ring and event buffers. A
+// multiplexing service (internal/serve) reuses one Stream per session
+// slot across successive occupants this way; after Restart the stream
+// behaves exactly like a fresh Pipeline.Stream.
+func (s *Stream) Restart() {
+	s.p.Reset()
+	s.det.Reset()
+}
+
 // Finish flushes the detector's lookahead and returns the final
 // Detection; see StreamDetector.Finish.
 func (s *Stream) Finish() *Detection { return s.det.Finish() }

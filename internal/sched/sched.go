@@ -23,7 +23,10 @@ type ItemFunc[P any] func(cfg pantompkins.Config, item int) (P, error)
 // ReduceFunc folds the per-item partials of one configuration into the
 // cached value. The engine always presents parts in item order, whatever
 // the worker count or shard split, so a deterministic reduction gives
-// bit-identical results for every parallelism setting.
+// bit-identical results for every parallelism setting. parts is engine
+// scratch, recycled across evaluations (and design-space-exploration
+// phases): reduce must not retain the slice or its elements past the
+// call.
 type ReduceFunc[V, P any] func(cfg pantompkins.Config, parts []P) (V, error)
 
 // Range is a half-open interval of work-item indices forming one shard.
@@ -78,6 +81,20 @@ func Canonical(cfg pantompkins.Config) pantompkins.Config {
 		}
 	}
 	return cfg
+}
+
+// shardScratch is one reusable per-design evaluation workspace of a
+// sharded engine: the item-ordered partials, the per-shard error slots,
+// the design under evaluation and the pre-built scatter callback (built
+// once so a warm evaluation allocates neither slices nor a closure). Each
+// concurrent design evaluation checks one out of the engine's free list
+// and returns it after reduce, so steady-state evaluation allocates no
+// scratch regardless of how many designs or phases run.
+type shardScratch[P any] struct {
+	parts []P
+	errs  []error
+	cfg   pantompkins.Config
+	run   func(s int)
 }
 
 // entry is one memoized evaluation; done is closed once q/err are final.
@@ -145,33 +162,48 @@ func New[V any](workers int, fn Func[V]) *Evaluator[V] {
 //
 // shards <= 0 selects one shard per item; shards == 1 disables the second
 // level (one sub-job computes every item inline).
+//
+// The per-design partials and shard-error slices are evaluation scratch
+// drawn from a free list, not allocated per design: a long-running engine
+// — one driving all three phases of a design-space exploration plus both
+// methodology gates — reuses one scratch set per concurrent evaluation for
+// its whole lifetime. This is why ReduceFunc must not retain parts.
 func NewSharded[V, P any](workers, items, shards int, item ItemFunc[P], reduce ReduceFunc[V, P]) *Evaluator[V] {
 	e := New[V](workers, nil)
 	if shards <= 0 {
 		shards = items
 	}
 	ranges := Split(items, shards)
-	e.fn = func(cfg pantompkins.Config) (V, error) {
-		parts := make([]P, items)
-		errs := make([]error, len(ranges))
-		e.scatter(len(ranges), func(s int) {
+	scratch := sync.Pool{New: func() any {
+		sc := &shardScratch[P]{parts: make([]P, items), errs: make([]error, len(ranges))}
+		sc.run = func(s int) {
 			r := ranges[s]
 			for i := r.Lo; i < r.Hi; i++ {
-				p, err := item(cfg, i)
+				p, err := item(sc.cfg, i)
 				if err != nil {
-					errs[s] = err
+					sc.errs[s] = err
 					return
 				}
-				parts[i] = p
+				sc.parts[i] = p
 			}
-		})
-		for _, err := range errs {
+		}
+		return sc
+	}}
+	e.fn = func(cfg pantompkins.Config) (V, error) {
+		sc := scratch.Get().(*shardScratch[P])
+		defer scratch.Put(sc)
+		sc.cfg = cfg
+		for s := range sc.errs {
+			sc.errs[s] = nil
+		}
+		e.scatter(len(ranges), sc.run)
+		for _, err := range sc.errs {
 			if err != nil {
 				var zero V
 				return zero, err
 			}
 		}
-		return reduce(cfg, parts)
+		return reduce(cfg, sc.parts)
 	}
 	return e
 }

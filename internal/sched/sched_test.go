@@ -384,3 +384,37 @@ func TestScatterFromInsidePool(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestShardedScratchReuse guards the shared evaluation scratch: after the
+// free list is warm, a sharded design evaluation (the closure every
+// design-space-exploration phase drives) must allocate nothing — parts
+// and shard-error slices are recycled, not rebuilt per design.
+func TestShardedScratchReuse(t *testing.T) {
+	item := func(cfg pantompkins.Config, i int) (int, error) {
+		return i + cfg.Stage[pantompkins.LPF].LSBs, nil
+	}
+	reduce := func(cfg pantompkins.Config, parts []int) (int, error) {
+		total := 0
+		for _, p := range parts {
+			total += p
+		}
+		return total, nil
+	}
+	// workers=1 keeps scatter on the inline path so the measurement sees
+	// only the evaluation closure itself.
+	e := NewSharded[int, int](1, 8, 4, item, reduce)
+	defer e.Close()
+	cfg := cfgK([pantompkins.NumStages]int{2, 0, 0, 0, 0})
+	want, err := e.fn(cfg) // warm the free list
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avg := testing.AllocsPerRun(100, func() {
+		got, err := e.fn(cfg)
+		if err != nil || got != want {
+			t.Fatalf("got %d, %v; want %d", got, err, want)
+		}
+	}); avg != 0 {
+		t.Fatalf("sharded evaluation allocates %.1f objects/run; scratch not reused", avg)
+	}
+}

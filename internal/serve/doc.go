@@ -1,0 +1,42 @@
+// Package serve multiplexes tens of thousands of concurrent patient
+// streaming sessions per core over the streaming Pan-Tompkins pipeline —
+// the deployment shape of XBioSiP's near-sensor processing: many wearable
+// acquisition nodes feeding one edge gateway that runs QRS detection live
+// for every patient.
+//
+// # Session pool
+//
+// Per-session state lives in a struct-of-arrays pool indexed by slot:
+// parallel arrays for sequence tracking, ring positions and emit cursors,
+// one contiguous int16 ring region per slot, and one lazily built
+// pipeline+detector pair per slot that is recycled across occupants via
+// Stream.Restart. There are no per-session goroutines and no steady-state
+// allocation; a Service is single-goroutine and a multi-core deployment
+// runs one Service shard per core.
+//
+// # Framing
+//
+// Ingest accepts frames modeled on BLE wearable links (see frame.go): an
+// 8-byte header — session id, wrapping sequence number, sample count,
+// flags — followed by up to MaxFrameSamples little-endian int16 samples,
+// packed back-to-back per ingest buffer. Unknown sessions connect
+// implicitly; FlagStart restarts a live session in place (reconnect);
+// FlagEnd finishes it once its buffer drains. Duplicate- and
+// future-sequence frames are dropped and counted, so the accepted sample
+// sequence of a session is always in-order and gap-free, and the
+// detection events the service emits for it are bit-identical to
+// pantompkins.Pipeline.Stream over the same samples.
+//
+// # Backpressure and eviction
+//
+// Each session owns a bounded ring (Config.BufferSamples). A frame that
+// does not fit is rejected with ErrBackpressure and not consumed — the
+// transport's cue to Drain and retry. When a new session connects into a
+// full pool, the slowest consumer — largest backlog, ties to the
+// least-recently active, then lowest slot — is evicted deterministically,
+// its buffered samples discarded, and an EventEvicted emitted on the next
+// Drain. Drain advances every live session up to Config.Quantum samples
+// and appends live detection events (the full decision trace plus
+// accepted beats, optionally with sample-to-event latency) to a reusable
+// buffer.
+package serve

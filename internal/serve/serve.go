@@ -1,0 +1,429 @@
+package serve
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/xbiosip/xbiosip/internal/pantompkins"
+)
+
+// Config parameterises a Service.
+type Config struct {
+	// FS is the per-session sampling rate in Hz (default 360, the
+	// wearable-monitor rate the service is benchmarked at).
+	FS int
+	// Pipeline is the approximation configuration every session's
+	// Pan-Tompkins chain is built with.
+	Pipeline pantompkins.Config
+	// MaxSessions bounds the session pool (default 1024). A connect
+	// beyond the bound evicts the slowest consumer (see Drain).
+	MaxSessions int
+	// BufferSamples bounds each session's ingest ring (default 2*FS,
+	// two seconds of signal). A frame that does not fit is rejected
+	// with ErrBackpressure.
+	BufferSamples int
+	// Quantum caps the samples drained per session per Drain call,
+	// interleaving sessions fairly; 0 drains each session fully.
+	Quantum int
+	// TrackLatency stamps every ingested sample and reports
+	// sample-to-event latency on emitted events (one extra int64 per
+	// buffered sample).
+	TrackLatency bool
+	// Now overrides the timestamp source (UnixNano); nil selects
+	// time.Now. It exists for tests and latency benchmarks.
+	Now func() int64
+}
+
+// EventKind classifies service output events.
+type EventKind uint8
+
+const (
+	// EventTrace is a non-beat detector decision (noise, T-wave,
+	// misaligned candidate) — the full decision trace Pipeline.Stream
+	// exposes, per session.
+	EventTrace EventKind = iota
+	// EventBeat is an accepted QRS complex (threshold acceptance or RR
+	// searchback); Peak carries the R position in raw-signal samples.
+	EventBeat
+	// EventEvicted reports a session removed by the slow-consumer
+	// policy; its buffered samples are discarded.
+	EventEvicted
+	// EventFinished reports a session that drained to its FlagEnd
+	// frame and flushed its detector.
+	EventFinished
+)
+
+// String names the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case EventTrace:
+		return "trace"
+	case EventBeat:
+		return "beat"
+	case EventEvicted:
+		return "evicted"
+	case EventFinished:
+		return "finished"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is one unit of service output: a per-session detector decision or
+// a session lifecycle change.
+type Event struct {
+	Session uint32
+	Kind    EventKind
+	// Det is the underlying detector event (EventTrace and EventBeat).
+	// The sequence of Det values emitted for one session is bit-identical
+	// to the Events trace of Pipeline.Stream over the same samples.
+	Det pantompkins.Event
+	// Peak is the accepted R position in raw-signal samples (EventBeat
+	// only; -1 otherwise).
+	Peak int
+	// LatencyNs is the sample-to-event latency of the sample whose push
+	// produced this event (Config.TrackLatency only).
+	LatencyNs int64
+}
+
+// Stats counts service activity since construction.
+type Stats struct {
+	Frames       uint64 // frames accepted
+	Samples      uint64 // samples accepted
+	Connects     uint64 // sessions opened (implicit or FlagStart)
+	Reconnects   uint64 // FlagStart on a live session
+	Evictions    uint64 // sessions removed by the slow-consumer policy
+	Finishes     uint64 // sessions completed via FlagEnd
+	DupFrames    uint64 // duplicate/old-sequence frames dropped
+	GapFrames    uint64 // future-sequence frames dropped (loss upstream)
+	Truncated    uint64 // ingest buffers rejected mid-frame
+	Backpressure uint64 // frames rejected by a full session buffer
+}
+
+// Service multiplexes many concurrent patient sessions over streaming
+// Pan-Tompkins detection. Per-session state lives in parallel arrays
+// indexed by slot (a struct-of-arrays pool) — there are no per-session
+// goroutines and no per-session heap churn: a slot's pipeline, detector
+// rings and buffer region are built once and recycled across occupants.
+//
+// A Service is single-goroutine by design (calls must not be concurrent);
+// a multi-core deployment runs one Service shard per core, which is how
+// the sessions/core benchmark scales.
+type Service struct {
+	cfg  Config
+	bufN int // ring capacity per session
+
+	// Session pool, struct-of-arrays, indexed by slot.
+	ids      []uint32              // occupant session id
+	used     []bool                // slot occupied
+	seqs     []uint16              // next expected frame sequence
+	ended    []bool                // FlagEnd received; finish after drain
+	heads    []int32               // ring read position
+	counts   []int32               // buffered samples
+	ticks    []int64               // last accepted-frame order stamp
+	streams  []*pantompkins.Stream // built lazily, reused via Restart
+	emEvents []int32               // detector events already emitted
+	emPeaks  []int32               // detector peaks already emitted
+	ring     []int16               // slot i owns ring[i*bufN:(i+1)*bufN]
+	ts       []int64               // ingest stamps (TrackLatency only)
+
+	index   map[uint32]int32 // session id -> slot
+	free    []int32          // free-slot stack
+	pending []Event          // lifecycle events raised during Ingest
+	stats   Stats
+	nowFn   func() int64
+	tick    int64 // monotone accepted-frame counter (eviction ordering)
+}
+
+// New builds a service. The pipeline configuration is validated here;
+// per-slot pipelines are instantiated on first use.
+func New(cfg Config) (*Service, error) {
+	if cfg.FS <= 0 {
+		cfg.FS = 360
+	}
+	if cfg.MaxSessions <= 0 {
+		cfg.MaxSessions = 1024
+	}
+	if cfg.BufferSamples <= 0 {
+		cfg.BufferSamples = 2 * cfg.FS
+	}
+	if _, err := pantompkins.New(cfg.Pipeline); err != nil {
+		return nil, err
+	}
+	n := cfg.MaxSessions
+	s := &Service{
+		cfg:      cfg,
+		bufN:     cfg.BufferSamples,
+		ids:      make([]uint32, n),
+		used:     make([]bool, n),
+		seqs:     make([]uint16, n),
+		ended:    make([]bool, n),
+		heads:    make([]int32, n),
+		counts:   make([]int32, n),
+		ticks:    make([]int64, n),
+		streams:  make([]*pantompkins.Stream, n),
+		emEvents: make([]int32, n),
+		emPeaks:  make([]int32, n),
+		ring:     make([]int16, n*cfg.BufferSamples),
+		index:    make(map[uint32]int32, n),
+		free:     make([]int32, 0, n),
+		nowFn:    cfg.Now,
+	}
+	if cfg.TrackLatency {
+		s.ts = make([]int64, n*cfg.BufferSamples)
+	}
+	if s.nowFn == nil {
+		s.nowFn = func() int64 { return time.Now().UnixNano() }
+	}
+	for slot := n - 1; slot >= 0; slot-- {
+		s.free = append(s.free, int32(slot))
+	}
+	return s, nil
+}
+
+// Sessions returns the number of live sessions.
+func (s *Service) Sessions() int { return len(s.index) }
+
+// Stats returns the activity counters.
+func (s *Service) Stats() Stats { return s.stats }
+
+// Backlog returns the buffered sample count of a live session.
+func (s *Service) Backlog(session uint32) (int, bool) {
+	slot, ok := s.index[session]
+	if !ok {
+		return 0, false
+	}
+	return int(s.counts[slot]), true
+}
+
+// Detection exposes a live session's detection so far. The result aliases
+// detector state: it is valid until the session is drained further,
+// restarted or closed, and must not be mutated.
+func (s *Service) Detection(session uint32) (*pantompkins.Detection, bool) {
+	slot, ok := s.index[session]
+	if !ok {
+		return nil, false
+	}
+	return s.streams[slot].Detector().Detection(), true
+}
+
+// Ingest consumes the frames packed back-to-back in buf (the shape of a
+// radio link delivering a batch of notifications) and returns the number
+// of frames consumed. Unknown session ids connect implicitly, evicting
+// the slowest consumer if the pool is full; FlagStart on a live session
+// restarts it in place. Duplicate- and future-sequence frames are dropped
+// (counted in Stats) without disturbing the session, so the detection a
+// session emits is always over exactly the in-order accepted samples. A
+// frame that does not fit the session's bounded buffer stops ingest with
+// ErrBackpressure and is not consumed: the caller should Drain and
+// re-offer the remainder of buf. A buffer ending mid-frame is
+// ErrTruncated.
+func (s *Service) Ingest(buf []byte) (int, error) {
+	frames := 0
+	for len(buf) > 0 {
+		hdr, payload, n, err := parseFrame(buf)
+		if err != nil {
+			s.stats.Truncated++
+			return frames, err
+		}
+		if err := s.ingestFrame(hdr, payload); err != nil {
+			return frames, err
+		}
+		buf = buf[n:]
+		frames++
+	}
+	return frames, nil
+}
+
+// ingestFrame applies one parsed frame.
+func (s *Service) ingestFrame(hdr frameHeader, payload []byte) error {
+	slot, ok := s.index[hdr.session]
+	if !ok {
+		slot = s.connect(hdr.session, hdr.seq)
+	} else if hdr.flags&FlagStart != 0 {
+		s.restart(slot, hdr.seq)
+	}
+	if hdr.seq != s.seqs[slot] {
+		// Sequence-window comparison under uint16 wraparound: behind the
+		// expected number is a duplicate or reordered copy, ahead means
+		// frames were lost upstream. Either way the frame is dropped and
+		// the accepted sample sequence stays gap-free in order.
+		if int16(hdr.seq-s.seqs[slot]) < 0 {
+			s.stats.DupFrames++
+		} else {
+			s.stats.GapFrames++
+		}
+		return nil
+	}
+	if int(s.counts[slot])+hdr.count > s.bufN {
+		s.stats.Backpressure++
+		return ErrBackpressure
+	}
+	s.seqs[slot] = hdr.seq + 1
+	base := slot * int32(s.bufN)
+	var now int64
+	if s.cfg.TrackLatency {
+		now = s.nowFn()
+	}
+	for i := 0; i < hdr.count; i++ {
+		idx := base + (s.heads[slot]+s.counts[slot])%int32(s.bufN)
+		s.ring[idx] = sampleAt(payload, i)
+		if s.cfg.TrackLatency {
+			s.ts[idx] = now
+		}
+		s.counts[slot]++
+	}
+	if hdr.flags&FlagEnd != 0 {
+		s.ended[slot] = true
+	}
+	s.tick++
+	s.ticks[slot] = s.tick
+	s.stats.Frames++
+	s.stats.Samples += uint64(hdr.count)
+	return nil
+}
+
+// connect claims a slot for a new session, evicting the slowest consumer
+// when the pool is full.
+func (s *Service) connect(id uint32, seq uint16) int32 {
+	if len(s.free) == 0 {
+		s.evict(s.victim())
+	}
+	slot := s.free[len(s.free)-1]
+	s.free = s.free[:len(s.free)-1]
+	s.ids[slot] = id
+	s.used[slot] = true
+	s.index[id] = slot
+	s.reset(slot, seq)
+	s.stats.Connects++
+	return slot
+}
+
+// restart re-arms a live session in place (FlagStart mid-record):
+// buffered samples are discarded and detection begins anew at the given
+// sequence number, exactly as if the session had reconnected.
+func (s *Service) restart(slot int32, seq uint16) {
+	s.reset(slot, seq)
+	s.stats.Reconnects++
+}
+
+// reset clears a slot's per-occupant state and (re)starts its stream.
+func (s *Service) reset(slot int32, seq uint16) {
+	s.seqs[slot] = seq
+	s.ended[slot] = false
+	s.heads[slot] = 0
+	s.counts[slot] = 0
+	s.emEvents[slot] = 0
+	s.emPeaks[slot] = 0
+	s.tick++
+	s.ticks[slot] = s.tick
+	if s.streams[slot] == nil {
+		// Cannot fail: New validated the same configuration.
+		p, err := pantompkins.New(s.cfg.Pipeline)
+		if err != nil {
+			panic(err)
+		}
+		s.streams[slot] = p.Stream(s.cfg.FS)
+	} else {
+		s.streams[slot].Restart()
+	}
+}
+
+// victim picks the slot to evict: the largest backlog (the slowest
+// consumer), ties broken by least-recent activity, then lowest slot —
+// a total order, so eviction under pressure is deterministic.
+func (s *Service) victim() int32 {
+	best := int32(-1)
+	for slot := range s.used {
+		if !s.used[slot] {
+			continue
+		}
+		if best < 0 ||
+			s.counts[slot] > s.counts[best] ||
+			(s.counts[slot] == s.counts[best] && s.ticks[slot] < s.ticks[best]) {
+			best = int32(slot)
+		}
+	}
+	return best
+}
+
+// evict force-closes a session, discarding its buffered samples, and
+// queues the EventEvicted for the next Drain.
+func (s *Service) evict(slot int32) {
+	s.pending = append(s.pending, Event{Session: s.ids[slot], Kind: EventEvicted, Peak: -1})
+	s.stats.Evictions++
+	s.close(slot)
+}
+
+// close releases a slot back to the pool.
+func (s *Service) close(slot int32) {
+	delete(s.index, s.ids[slot])
+	s.used[slot] = false
+	s.free = append(s.free, slot)
+}
+
+// Drain advances every live session — up to Quantum samples each — through
+// its pipeline and detector, appending the produced events to events (in
+// ascending slot order; a reused buffer makes the steady state
+// allocation-free). Sessions whose FlagEnd frame has fully drained are
+// flushed, emit EventFinished and release their slot. Pending eviction
+// events from Ingest are delivered first.
+func (s *Service) Drain(events []Event) []Event {
+	events = append(events, s.pending...)
+	s.pending = s.pending[:0]
+	var now int64
+	if s.cfg.TrackLatency {
+		now = s.nowFn()
+	}
+	for sl := range s.used {
+		if !s.used[sl] {
+			continue
+		}
+		slot := int32(sl)
+		n := int(s.counts[slot])
+		if q := s.cfg.Quantum; q > 0 && n > q {
+			n = q
+		}
+		st := s.streams[slot]
+		det := st.Detector().Detection()
+		base := int(slot) * s.bufN
+		head := int(s.heads[slot])
+		for k := 0; k < n; k++ {
+			idx := base + (head+k)%s.bufN
+			st.Push(s.ring[idx])
+			if len(det.Events) > int(s.emEvents[slot]) {
+				var lat int64
+				if s.cfg.TrackLatency {
+					lat = now - s.ts[idx]
+				}
+				events = s.collect(slot, det, lat, events)
+			}
+		}
+		s.heads[slot] = int32((head + n) % s.bufN)
+		s.counts[slot] -= int32(n)
+		if s.ended[slot] && s.counts[slot] == 0 {
+			det = st.Finish()
+			events = s.collect(slot, det, 0, events)
+			events = append(events, Event{Session: s.ids[slot], Kind: EventFinished, Peak: -1})
+			s.stats.Finishes++
+			s.close(slot)
+		}
+	}
+	return events
+}
+
+// collect emits the detector events produced since the last collection.
+func (s *Service) collect(slot int32, det *pantompkins.Detection, lat int64, events []Event) []Event {
+	for int(s.emEvents[slot]) < len(det.Events) {
+		de := det.Events[s.emEvents[slot]]
+		s.emEvents[slot]++
+		ev := Event{Session: s.ids[slot], Kind: EventTrace, Det: de, Peak: -1, LatencyNs: lat}
+		if de.Kind == pantompkins.EventAccepted || de.Kind == pantompkins.EventSearchback {
+			ev.Kind = EventBeat
+			ev.Peak = det.Peaks[s.emPeaks[slot]]
+			s.emPeaks[slot]++
+		}
+		events = append(events, ev)
+	}
+	return events
+}

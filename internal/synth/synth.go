@@ -144,7 +144,18 @@ func AnalyzeActivityStreams(n *netlist.Netlist, ports []netlist.PortStimulus) (R
 // weighting rule). Callers that cache a netlist's Activity — the energy
 // characterization cache — re-derive the report without re-simulating.
 func ActivityReport(n *netlist.Netlist, act netlist.Activity) Report {
-	r := Analyze(n)
+	return ActivityWeight(Analyze(n), n, act)
+}
+
+// ActivityWeight re-weights a precomputed activity-blind report of n (the
+// output of Analyze) by the measured switching activity. Splitting the
+// area/delay analysis from the activity weighting lets callers that hold
+// both the structural report and the activity — the energy
+// characterization cache — serve the activity-blind (optimised-policy)
+// report and the activity-weighted one from a single analysis instead of
+// re-walking the netlist. base is returned with only Power and Energy
+// replaced; Area, Delay and the cell accounting carry over unchanged.
+func ActivityWeight(base Report, n *netlist.Netlist, act netlist.Activity) Report {
 	const refActivity = 0.5
 	power := 0.0
 	for i := range n.Cells {
@@ -154,9 +165,9 @@ func ActivityReport(n *netlist.Netlist, act netlist.Activity) Report {
 		}
 		power += cellChar(c).Power * act.PerCell[i] / refActivity
 	}
-	r.Power = power
-	r.Energy = r.Power * r.Delay
-	return r
+	base.Power = power
+	base.Energy = base.Power * base.Delay
+	return base
 }
 
 // Reduction holds baseline/approximate ratios for each physical metric
