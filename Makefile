@@ -3,25 +3,26 @@
 # suite), the same equivalence suite with the word-parallel kernels
 # force-disabled (the bit-serial oracle path, including the scalar
 # activity simulator), benchmark smoke passes in both modes, focused
-# -race passes over the two global caches' concurrent cold builds and
-# over the multi-patient streaming service, and a benchdiff smoke run
-# over the checked-in snapshot.
+# -race passes over the two global caches' concurrent cold builds, the
+# multi-patient streaming service and the sharded gateway, a fuzz smoke
+# over the wire-frame parser, and a benchdiff smoke run over the
+# checked-in snapshot.
 
 GO ?= go
 
 # Benchmarks captured by `make bench-json` into BENCH_N.json snapshots.
-BENCH_JSON_PATTERN = KernelVsReference|PipelinePush|DSEWorkers|EvaluatorShards|Fig11ExplorationTime|Table2PreprocessingGrid|EnergyCharacterization|Activity|Serve
+BENCH_JSON_PATTERN = KernelVsReference|PipelinePush|DSEWorkers|EvaluatorShards|Fig11ExplorationTime|Table2PreprocessingGrid|EnergyCharacterization|Activity|Serve|Gateway
 # Packages the bench-json pattern runs over.
 BENCH_JSON_PKGS = . ./internal/arith/kernel ./internal/netlist
 # Current snapshot file; bump per PR so the trajectory stays diffable.
-BENCH_SNAPSHOT = BENCH_6.json
+BENCH_SNAPSHOT = BENCH_7.json
 # Previous snapshot `make bench-diff` gates against.
-BENCH_BASELINE = BENCH_5.json
+BENCH_BASELINE = BENCH_6.json
 # Benchmarks that must exist in the current snapshot (catches a pattern
 # or harness regression silently dropping the new energy benchmarks).
-BENCH_REQUIRE = EnergyCharacterization/cold|Table2PreprocessingGrid/scratch|Activity/lanes|Serve/sessions|Serve/latency
+BENCH_REQUIRE = EnergyCharacterization/cold|Table2PreprocessingGrid/scratch|Activity/lanes|Serve/sessions|Serve/latency|Gateway/shards=1|Gateway/shards=4
 
-.PHONY: all build vet test race race-arith race-energy race-serve test-reference bench bench-reference bench-json bench-diff bench-diff-smoke ci
+.PHONY: all build vet test race race-arith race-energy race-serve race-gateway fuzz-smoke test-reference bench bench-reference bench-json bench-diff bench-diff-smoke ci
 
 all: build
 
@@ -55,6 +56,18 @@ race-energy:
 # energy caches, plus the bit-identity/churn/eviction suite.
 race-serve:
 	$(GO) test -race -count=1 ./internal/serve
+
+# The sharded gateway under -race: per-shard drain workers against the
+# merge path, the fault-injected transport loop, and the shard-count
+# bit-identity suite.
+race-gateway:
+	$(GO) test -race -count=1 -run 'Gateway|Transport|Fault|Gap|SplitFrames' ./internal/serve
+
+# Fuzz smoke: a few seconds of native fuzzing over the wire-frame parser
+# and the ingest path (never panic, never corrupt the session pool).
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzParseFrame -fuzztime=5s -run '^$$' ./internal/serve
+	$(GO) test -fuzz=FuzzIngest -fuzztime=5s -run '^$$' ./internal/serve
 
 # The kernel equivalence tests and the packages threaded through the
 # compiled kernels, re-run with XBIOSIP_NO_KERNELS so every plan delegates
@@ -97,4 +110,4 @@ bench-diff:
 bench-diff-smoke:
 	$(GO) run ./cmd/benchdiff -threshold 0.15 -bytes-threshold 0.15 -allocs-threshold 0.15 -require '$(BENCH_REQUIRE)' $(BENCH_SNAPSHOT) $(BENCH_SNAPSHOT) > /dev/null
 
-ci: build vet race race-arith race-energy race-serve test-reference bench bench-reference bench-diff-smoke
+ci: build vet race race-arith race-energy race-serve race-gateway fuzz-smoke test-reference bench bench-reference bench-diff-smoke

@@ -532,3 +532,78 @@ func BenchmarkServe(b *testing.B) {
 		b.ReportMetric(float64(p99)/1e3, "p99-latency-us")
 	})
 }
+
+// BenchmarkGateway measures the sharded front door over the same workload
+// as BenchmarkServe/sessions: 4096 sessions hashed across N Service
+// shards, one BLE frame per session per iteration, every shard drained on
+// its own worker and the batches merged into the canonical stream. The
+// per-shard drains run concurrently, so aggregate sessions/core scales
+// with shard count from 2 cores up; on a single-core host the workers are
+// time-sliced and the shard counts mainly measure the merge overhead
+// (same caveat as BenchmarkDSEWorkers).
+func BenchmarkGateway(b *testing.B) {
+	gen := ecg.DefaultConfig()
+	gen.FS = 360
+	gen.Seed = 11
+	rec, err := gen.Generate("gateway-360", 8*360)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var b9 pantompkins.Config
+	for i, st := range pantompkins.Stages {
+		k := []int{10, 12, 2, 8, 16}[i]
+		b9.Stage[st] = dsp.ArithConfig{LSBs: k, Add: approx.ApproxAdd5, Mul: approx.AppMultV1}
+	}
+
+	const sessions = 4096
+	const frameN = 24
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			gw, err := serve.NewGateway(serve.GatewayConfig{
+				Shards: shards,
+				// 2x slack on the hash spread so no shard ever evicts.
+				Service: serve.Config{
+					FS: 360, Pipeline: b9, MaxSessions: 2 * sessions,
+					BufferSamples: 4 * frameN,
+				},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer gw.Close()
+			pos := make([]int, sessions)
+			seqs := make([]uint16, sessions)
+			var buf []byte
+			var events []serve.Event
+			round := func() {
+				for sess := 0; sess < sessions; sess++ {
+					p := pos[sess]
+					if p+frameN > len(rec.Samples) {
+						p = 0
+					}
+					buf, seqs[sess] = serve.SplitFrames(buf[:0], uint32(sess+1), seqs[sess], 0, rec.Samples[p:p+frameN])
+					if _, err := gw.Ingest(buf); err != nil {
+						b.Fatal(err)
+					}
+					pos[sess] = p + frameN
+				}
+				events = gw.Drain(events[:0])
+			}
+			round() // connect every session and build its pipelines off the clock
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				round()
+			}
+			b.StopTimer()
+			if st := gw.Stats(); st.Evictions != 0 {
+				b.Fatalf("%d evictions during the benchmark", st.Evictions)
+			}
+			total := float64(b.N) * float64(sessions) * frameN
+			if sec := b.Elapsed().Seconds(); sec > 0 {
+				b.ReportMetric(total/sec/360, "sessions/core")
+				b.ReportMetric(1e9*sec/total, "ns/sample")
+			}
+		})
+	}
+}

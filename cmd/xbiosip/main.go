@@ -6,7 +6,7 @@
 //	xbiosip [flags] <experiment>
 //
 // Experiments: table1, table2, fig1, fig2, fig8, fig10, fig11, fig12,
-// fig13, ablation, noise, stream, serve, dse, synth, all.
+// fig13, ablation, noise, stream, serve, delivery, dse, synth, all.
 //
 // Flags -records and -samples control the synthetic NSRDB-like evaluation
 // set (the paper's unit is one 20,000-sample recording). -workers sets the
@@ -26,6 +26,7 @@ import (
 	"github.com/xbiosip/xbiosip/internal/energy"
 	"github.com/xbiosip/xbiosip/internal/experiments"
 	"github.com/xbiosip/xbiosip/internal/pantompkins"
+	"github.com/xbiosip/xbiosip/internal/serve"
 	"github.com/xbiosip/xbiosip/internal/synth"
 )
 
@@ -37,6 +38,11 @@ func main() {
 	workers := flag.Int("workers", 0, "design-evaluation workers (0 = all CPUs, 1 = sequential; results are identical)")
 	shards := flag.Int("shards", 0, "record shards per design evaluation (0 = one per record, 1 = sequential records; results are identical)")
 	sessions := flag.Int("sessions", 64, "concurrent patient sessions for the serve experiment")
+	gwShards := flag.Int("gwshards", 1, "gateway shards for the serve experiment (one Service per core)")
+	loss := flag.Float64("loss", 0, "injected packet-loss probability for serve/delivery (0 = perfect links)")
+	burst := flag.Float64("burst", 0, "injected burst-dropout entry probability for serve/delivery")
+	seed := flag.Uint64("seed", 1, "fault-injection seed; serve/delivery runs are reproducible from it")
+	policy := flag.String("policy", "hold", "gap-concealment policy for serve under faults (drop|hold|zero|restart)")
 	verbose := flag.Bool("v", false, "report kernel working-set statistics (per-design table footprint, global table cache)")
 	flag.Usage = usage
 	flag.Parse()
@@ -44,13 +50,30 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *records, *samples, *psnr, *accuracy, *workers, *shards, *sessions, *verbose); err != nil {
+	pol, err := parsePolicy(*policy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xbiosip:", err)
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *records, *samples, *psnr, *accuracy, *workers, *shards, *verbose, experiments.ServeOpts{
+		Sessions: *sessions, Shards: *gwShards, Loss: *loss, Burst: *burst, Seed: *seed, Policy: pol,
+	}); err != nil {
 		fmt.Fprintln(os.Stderr, "xbiosip:", err)
 		os.Exit(1)
 	}
 	if *verbose {
 		printKernelStats()
 	}
+}
+
+// parsePolicy maps the -policy flag to a serve.GapPolicy.
+func parsePolicy(s string) (serve.GapPolicy, error) {
+	for p := serve.GapDrop; p <= serve.GapRestart; p++ {
+		if p.String() == s {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown gap policy %q (drop|hold|zero|restart)", s)
 }
 
 // printKernelStats reports the simulator's kernel working set — the live
@@ -94,7 +117,10 @@ experiments:
   noise    detection accuracy vs EMG noise, accurate vs B9
   stream   push every record through the B9 detector sample by sample
   serve    multiplex -sessions framed patient streams through the
-           multi-patient service (B9), reporting live sessions/core
+           -gwshards-sharded gateway (B9), reporting live sessions/core;
+           -loss/-burst/-seed inject reproducible delivery faults
+  delivery sweep packet loss against recovered detection for every
+           gap-concealment policy (drop/hold/zero/restart)
   dse      run the full two-gate XBioSiP methodology
   synth    synthesis reports of the five accurate stage netlists
   all      everything above
@@ -104,7 +130,7 @@ flags:
 	flag.PrintDefaults()
 }
 
-func run(what string, records, samples int, psnr, accuracy float64, workers, shards, sessions int, verbose bool) error {
+func run(what string, records, samples int, psnr, accuracy float64, workers, shards int, verbose bool, serveOpts experiments.ServeOpts) error {
 	// Experiments that need no evaluation environment.
 	switch what {
 	case "table1":
@@ -213,17 +239,33 @@ func run(what string, records, samples int, psnr, accuracy float64, workers, sha
 		if b9.Name != "B9" {
 			return fmt.Errorf("config table changed: %s", b9.Name)
 		}
-		r, err := s.Serve(s.Config(b9.LSBs), sessions)
+		r, err := s.Serve(s.Config(b9.LSBs), serveOpts)
 		if err != nil {
 			return err
 		}
 		fmt.Print(experiments.FormatServe(s.Config(b9.LSBs), r), "\n")
 	}
+	if all || what == "delivery" {
+		b9 := experiments.Fig12Configs[9]
+		if b9.Name != "B9" {
+			return fmt.Errorf("config table changed: %s", b9.Name)
+		}
+		// -loss caps the sweep when set; the default sweep otherwise.
+		var losses []float64
+		if l := serveOpts.Loss; l > 0 {
+			losses = []float64{0, l / 4, l / 2, l}
+		}
+		rows, err := s.DeliveryResilience(s.Config(b9.LSBs), losses, serveOpts.Burst, serveOpts.Seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatDeliveryResilience(rows), "\n")
+	}
 	if all || what == "dse" {
 		return runMethodology(s, psnr, accuracy, verbose)
 	}
 	switch what {
-	case "all", "fig2", "fig8", "fig10", "table2", "fig11", "fig12", "fig13", "ablation", "noise", "stream", "serve", "dse":
+	case "all", "fig2", "fig8", "fig10", "table2", "fig11", "fig12", "fig13", "ablation", "noise", "stream", "serve", "delivery", "dse":
 		return nil
 	}
 	return fmt.Errorf("unknown experiment %q (run without arguments for usage)", what)

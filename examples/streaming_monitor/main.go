@@ -85,11 +85,12 @@ func main() {
 			if w.pos+n == len(rec.Samples) {
 				flags |= serve.FlagEnd
 			}
-			buf = serve.AppendFrame(buf[:0], uint32(id), w.seq, flags, rec.Samples[w.pos:w.pos+n])
+			// SplitFrames encodes the chunk and hands back the next
+			// sequence number, however many frames it took.
+			buf, w.seq = serve.SplitFrames(buf[:0], uint32(id), w.seq, flags, rec.Samples[w.pos:w.pos+n])
 			if _, err := svc.Ingest(buf); err != nil {
 				log.Fatal(err)
 			}
-			w.seq++
 			w.pos += n
 			if w.pos >= len(rec.Samples) {
 				active--

@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/xbiosip/xbiosip/internal/metrics"
+	"github.com/xbiosip/xbiosip/internal/pantompkins"
+	"github.com/xbiosip/xbiosip/internal/serve"
+)
+
+// DeliveryPolicies is the concealment-policy axis of the delivery
+// resilience sweep, in presentation order. GapDrop is included as the
+// no-degradation baseline: it stalls at the first lost frame, which is
+// exactly the failure mode the graceful policies exist to avoid.
+var DeliveryPolicies = []serve.GapPolicy{
+	serve.GapDrop, serve.GapHold, serve.GapZero, serve.GapRestart,
+}
+
+// DeliveryRow is one point of the delivery-resilience sweep: a loss rate,
+// a concealment policy, and how much of the fault-free reference
+// detection survived.
+type DeliveryRow struct {
+	Loss      float64
+	Policy    serve.GapPolicy
+	Recovered float64 // mean per-session fraction of reference beats recovered
+	Lost      uint64  // frames estimated lost upstream
+	Concealed uint64  // samples synthesized
+	Restarts  uint64  // gap-forced detector restarts
+}
+
+// DeliveryResilience sweeps packet loss against detection recovery for
+// every concealment policy — the delivery-noise analogue of the paper's
+// stage error-resilience sweeps: instead of arithmetic approximation
+// degrading the signal, the radio link does.
+//
+// Each sweep point streams len(Records) sessions through a Service with
+// the policy under test, over fault links seeded from (seed, point,
+// session) — independent of the policy, so all policies face the
+// identical fault realization. The whole sweep is reproducible from
+// seed. Burst adds burst dropout at every point on top of the swept
+// uniform loss.
+func (s *Setup) DeliveryResilience(cfg pantompkins.Config, losses []float64, burst float64, seed uint64) ([]DeliveryRow, error) {
+	if len(losses) == 0 {
+		losses = []float64{0, 0.01, 0.02, 0.05, 0.1, 0.2}
+	}
+	if len(s.Records) == 0 {
+		return nil, fmt.Errorf("experiments: no evaluation records")
+	}
+	p, err := pantompkins.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	refPeaks := make([][]int, len(s.Records))
+	for ri, rec := range s.Records {
+		st := p.Stream(rec.FS)
+		for _, x := range rec.Samples {
+			st.Push(x)
+		}
+		refPeaks[ri] = append([]int(nil), st.Finish().Peaks...)
+	}
+
+	var rows []DeliveryRow
+	for li, loss := range losses {
+		for _, policy := range DeliveryPolicies {
+			svc, err := serve.New(serve.Config{
+				FS: s.Records[0].FS, Pipeline: cfg,
+				MaxSessions: len(s.Records), Conceal: policy,
+			})
+			if err != nil {
+				return nil, err
+			}
+			sources := make([]serve.Source, len(s.Records))
+			for ri, rec := range s.Records {
+				sources[ri] = serve.Source{Session: uint32(ri + 1), Samples: rec.Samples}
+				if loss > 0 || burst > 0 {
+					// Seeded by sweep point and session, NOT policy: every
+					// policy sees the identical delivery schedule.
+					sources[ri].Link = serve.NewFaultLink(serve.FaultConfig{
+						Seed: linkSeed(seed, li, uint32(ri+1)),
+						Loss: loss, Burst: burst,
+					})
+				}
+			}
+			peaks := make([][]int, len(s.Records))
+			if _, err := serve.Run(svc, serve.TransportConfig{FrameSamples: 32}, sources,
+				func(events []serve.Event) {
+					for _, ev := range events {
+						if ev.Kind == serve.EventBeat {
+							peaks[ev.Session-1] = append(peaks[ev.Session-1], ev.Peak)
+						}
+					}
+				}); err != nil {
+				return nil, err
+			}
+			var sum float64
+			for ri := range s.Records {
+				if len(refPeaks[ri]) == 0 {
+					sum++
+					continue
+				}
+				m, err := metrics.MatchPeaks(refPeaks[ri], peaks[ri], s.Eval.Tolerance)
+				if err != nil {
+					return nil, err
+				}
+				sum += m.Sensitivity()
+			}
+			st := svc.Stats()
+			rows = append(rows, DeliveryRow{
+				Loss:      loss,
+				Policy:    policy,
+				Recovered: sum / float64(len(s.Records)),
+				Lost:      st.LostFrames,
+				Concealed: st.Concealed,
+				Restarts:  st.GapRestarts,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// FormatDeliveryResilience renders the sweep as a loss-by-policy pivot of
+// recovered detection, in the style of FormatResilience.
+func FormatDeliveryResilience(rows []DeliveryRow) string {
+	var sb strings.Builder
+	sb.WriteString("Delivery resilience: recovered detection vs packet loss, per concealment policy\n")
+	fmt.Fprintf(&sb, "%6s", "loss")
+	for _, p := range DeliveryPolicies {
+		fmt.Fprintf(&sb, " %9s", p)
+	}
+	sb.WriteString("\n")
+	for i := 0; i < len(rows); i += len(DeliveryPolicies) {
+		fmt.Fprintf(&sb, "%5.0f%%", 100*rows[i].Loss)
+		for j := 0; j < len(DeliveryPolicies); j++ {
+			fmt.Fprintf(&sb, " %8.2f%%", 100*rows[i+j].Recovered)
+		}
+		sb.WriteString("\n")
+	}
+	var lost, concealed, restarts uint64
+	for _, r := range rows {
+		lost += r.Lost
+		concealed += r.Concealed
+		restarts += r.Restarts
+	}
+	fmt.Fprintf(&sb, "across the sweep: %d frames lost, %d samples concealed, %d detector restarts\n",
+		lost, concealed, restarts)
+	return sb.String()
+}

@@ -135,6 +135,7 @@ func FormatUniform(r UniformResult) string {
 		r.K, r.PSNR, r.SSIM, r.AccuratePeaks, r.ApproxPeaks, 100*r.Accuracy, r.EnergyReduction)
 }
 
-// MatchCounts re-exposes the aggregate matching of the last evaluation;
-// convenience for callers that only need accuracy.
+// Accuracy reduces a peak-matching result to the single detection-accuracy
+// number the paper's figures report (sensitivity: matched reference peaks
+// over all reference peaks); convenience for callers that only need it.
 func Accuracy(m metrics.MatchResult) float64 { return m.Sensitivity() }

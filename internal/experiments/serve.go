@@ -11,6 +11,24 @@ import (
 	"github.com/xbiosip/xbiosip/internal/serve"
 )
 
+// ServeOpts parameterises the multi-patient service scenario.
+type ServeOpts struct {
+	// Sessions is the number of concurrent patient streams (default 64).
+	Sessions int
+	// Shards is the gateway shard count (default 1, a single Service).
+	Shards int
+	// Loss and Burst inject delivery faults on every session's link
+	// (packet-loss probability and burst-dropout entry probability); both
+	// zero runs fault-free over perfect links.
+	Loss  float64
+	Burst float64
+	// Seed derives the per-session fault-link seeds; the whole scenario
+	// is reproducible from it.
+	Seed uint64
+	// Policy is the gap-concealment policy of every session.
+	Policy serve.GapPolicy
+}
+
 // ServeRow aggregates the sessions of one record in the multi-patient
 // service scenario.
 type ServeRow struct {
@@ -26,33 +44,60 @@ type ServeRow struct {
 // per-record session rows plus the service counters and the sustained
 // multiplexing throughput.
 type ServeResult struct {
-	Rows    []ServeRow
-	Stats   serve.Stats
-	FS      int
-	Elapsed time.Duration
-	// SamplesPerSec is the sustained single-goroutine processing rate;
+	Rows      []ServeRow
+	Opts      ServeOpts
+	Stats     serve.Stats
+	Transport serve.TransportStats
+	FS        int
+	Elapsed   time.Duration
+	// Recovered is the mean per-session fraction of the fault-free
+	// reference beats recovered (1.0 whenever the run is fault-free —
+	// then it is gated, not measured).
+	Recovered float64
+	// SamplesPerSec is the sustained processing rate across the gateway;
 	// SessionsPerCore is that rate divided by the session sampling rate —
-	// how many live patients one core keeps up with.
+	// how many live patients the configured shards keep up with.
 	SamplesPerSec   float64
 	SessionsPerCore float64
 }
 
-// Serve multiplexes sessions concurrent patient streams — the evaluation
-// records, round-robin — through one serve.Service: each record is framed
-// into BLE-sized packets, ingested interleaved across all sessions, and
-// drained live. Every session's detected peaks are required to be
+// linkSeed derives one fault link's seed from the scenario seed, a sweep
+// point and a session id (splitmix64-style mixing). Policies are NOT
+// mixed in: every policy faces the identical fault realization, which is
+// what makes policy comparisons fair.
+func linkSeed(seed uint64, point int, session uint32) uint64 {
+	z := seed + 0x9E3779B97F4A7C15*uint64(point+1) + uint64(session)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Serve multiplexes opts.Sessions concurrent patient streams — the
+// evaluation records, round-robin — through a serve.Gateway of
+// opts.Shards Service shards, using the package's transport loop: each
+// record is framed into BLE-sized packets, pushed through a (possibly
+// fault-injected) link, ingested with drain-backoff on backpressure, and
+// drained live.
+//
+// Fault-free, every session's detected peaks are required to be
 // bit-identical to the reference Pipeline.Stream over its record (the
-// service invariant), so the reported accuracy is exactly the streaming
-// detector's accuracy; on top of that the scenario reports the sustained
-// sessions/core the single-goroutine service achieves.
-func (s *Setup) Serve(cfg pantompkins.Config, sessions int) (*ServeResult, error) {
-	if sessions <= 0 {
-		sessions = 64
+// gateway invariant), so the reported accuracy is exactly the streaming
+// detector's accuracy. Under injected faults the scenario instead
+// measures Recovered — how much of the reference detection survives loss
+// under the configured gap-concealment policy.
+func (s *Setup) Serve(cfg pantompkins.Config, opts ServeOpts) (*ServeResult, error) {
+	if opts.Sessions <= 0 {
+		opts.Sessions = 64
 	}
+	if opts.Shards <= 0 {
+		opts.Shards = 1
+	}
+	sessions := opts.Sessions
 	if len(s.Records) == 0 {
 		return nil, fmt.Errorf("experiments: no evaluation records")
 	}
 	fs := s.Records[0].FS
+	faulty := opts.Loss > 0 || opts.Burst > 0
 
 	// Reference detections, one per record.
 	p, err := pantompkins.New(cfg)
@@ -68,85 +113,95 @@ func (s *Setup) Serve(cfg pantompkins.Config, sessions int) (*ServeResult, error
 		refPeaks[ri] = append([]int(nil), st.Finish().Peaks...)
 	}
 
-	svc, err := serve.New(serve.Config{FS: fs, Pipeline: cfg, MaxSessions: sessions})
+	// Each shard can hold every session: the hash spread is even but not
+	// exact, and an eviction would break the fault-free identity gate.
+	gw, err := serve.NewGateway(serve.GatewayConfig{
+		Shards: opts.Shards,
+		Service: serve.Config{
+			FS: fs, Pipeline: cfg, MaxSessions: sessions * opts.Shards,
+			Conceal: opts.Policy,
+		},
+	})
 	if err != nil {
 		return nil, err
 	}
+	defer gw.Close()
 
-	const frameN = 32
-	type cursor struct {
-		pos int
-		seq uint16
+	recOf := func(sess int) int { return sess % len(s.Records) }
+	sources := make([]serve.Source, sessions)
+	for sess := range sources {
+		sources[sess] = serve.Source{
+			Session: uint32(sess + 1),
+			Samples: s.Records[recOf(sess)].Samples,
+		}
+		if faulty {
+			sources[sess].Link = serve.NewFaultLink(serve.FaultConfig{
+				Seed: linkSeed(opts.Seed, 0, uint32(sess+1)),
+				Loss: opts.Loss, Burst: opts.Burst,
+			})
+		}
 	}
-	curs := make([]cursor, sessions)
+
 	peaks := make([][]int, sessions)
 	finished := make([]bool, sessions)
-	recOf := func(sess int) int { return sess % len(s.Records) }
-
-	var buf []byte
-	var events []serve.Event
-	active := sessions
 	start := time.Now()
-	for active > 0 {
-		for sess := 0; sess < sessions; sess++ {
-			c := &curs[sess]
-			samples := s.Records[recOf(sess)].Samples
-			if c.pos >= len(samples) {
-				continue
+	tst, err := serve.Run(gw, serve.TransportConfig{FrameSamples: 32}, sources,
+		func(events []serve.Event) {
+			for _, ev := range events {
+				sess := int(ev.Session) - 1
+				switch ev.Kind {
+				case serve.EventBeat:
+					peaks[sess] = append(peaks[sess], ev.Peak)
+				case serve.EventFinished:
+					finished[sess] = true
+				}
 			}
-			n := frameN
-			if c.pos+n > len(samples) {
-				n = len(samples) - c.pos
-			}
-			flags := uint8(0)
-			if c.pos == 0 {
-				flags = serve.FlagStart
-			}
-			if c.pos+n == len(samples) {
-				flags |= serve.FlagEnd
-			}
-			buf = serve.AppendFrame(buf[:0], uint32(sess+1), c.seq, flags, samples[c.pos:c.pos+n])
-			if _, err := svc.Ingest(buf); err != nil {
-				return nil, err
-			}
-			c.seq++
-			c.pos += n
-			if c.pos >= len(samples) {
-				active--
-			}
-		}
-		events = svc.Drain(events[:0])
-		for _, ev := range events {
-			sess := int(ev.Session) - 1
-			switch ev.Kind {
-			case serve.EventBeat:
-				peaks[sess] = append(peaks[sess], ev.Peak)
-			case serve.EventFinished:
-				finished[sess] = true
-			}
-		}
+		})
+	if err != nil {
+		return nil, err
 	}
 	elapsed := time.Since(start)
 
-	// Bit-identity gate: every session must reproduce its record's
-	// reference detection exactly.
-	for sess := 0; sess < sessions; sess++ {
-		if !finished[sess] {
-			return nil, fmt.Errorf("experiments: session %d did not finish", sess+1)
+	res := &ServeResult{Opts: opts, Stats: gw.Stats(), Transport: tst, FS: fs, Elapsed: elapsed}
+	if faulty {
+		// Recovered: matched beats against the fault-free reference,
+		// averaged over sessions. (Sessions whose FlagEnd was lost do not
+		// finish; their live beats still count.)
+		var sum float64
+		for sess := 0; sess < sessions; sess++ {
+			ref := refPeaks[recOf(sess)]
+			if len(ref) == 0 {
+				sum++
+				continue
+			}
+			m, err := metrics.MatchPeaks(ref, peaks[sess], s.Eval.Tolerance)
+			if err != nil {
+				return nil, err
+			}
+			sum += m.Sensitivity()
 		}
-		want := refPeaks[recOf(sess)]
-		if len(peaks[sess]) != len(want) {
-			return nil, fmt.Errorf("experiments: session %d detected %d beats, reference %d",
-				sess+1, len(peaks[sess]), len(want))
-		}
-		for i := range want {
-			if peaks[sess][i] != want[i] {
-				return nil, fmt.Errorf("experiments: session %d peak %d diverged from the reference", sess+1, i)
+		res.Recovered = sum / float64(sessions)
+	} else {
+		// Bit-identity gate: every session must reproduce its record's
+		// reference detection exactly, through any shard count.
+		for sess := 0; sess < sessions; sess++ {
+			if !finished[sess] {
+				return nil, fmt.Errorf("experiments: session %d did not finish", sess+1)
+			}
+			want := refPeaks[recOf(sess)]
+			if len(peaks[sess]) != len(want) {
+				return nil, fmt.Errorf("experiments: session %d detected %d beats, reference %d",
+					sess+1, len(peaks[sess]), len(want))
+			}
+			for i := range want {
+				if peaks[sess][i] != want[i] {
+					return nil, fmt.Errorf("experiments: session %d peak %d diverged from the reference", sess+1, i)
+				}
 			}
 		}
+		res.Recovered = 1.0
 	}
 
-	res := &ServeResult{Stats: svc.Stats(), FS: fs, Elapsed: elapsed}
 	for ri, rec := range s.Records {
 		row := ServeRow{Record: rec.Name, Samples: len(rec.Samples), RefBeats: len(rec.Annotations)}
 		for sess := 0; sess < sessions; sess++ {
@@ -175,16 +230,28 @@ func (s *Setup) Serve(cfg pantompkins.Config, sessions int) (*ServeResult, error
 // FormatServe renders the multi-patient service scenario.
 func FormatServe(cfg pantompkins.Config, r *ServeResult) string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "Serve workload: %v, framed ingest, live per-session detection\n", cfg)
+	faulty := r.Opts.Loss > 0 || r.Opts.Burst > 0
+	fmt.Fprintf(&sb, "Serve workload: %v, %d-shard gateway, framed ingest, live per-session detection\n",
+		cfg, r.Opts.Shards)
+	if faulty {
+		fmt.Fprintf(&sb, "faulty delivery: loss %.2f, burst %.2f, policy %v, seed %d\n",
+			r.Opts.Loss, r.Opts.Burst, r.Opts.Policy, r.Opts.Seed)
+	}
 	fmt.Fprintf(&sb, "%-12s %9s %9s %7s %9s %9s\n", "record", "sessions", "samples", "beats", "reference", "accuracy")
 	for _, row := range r.Rows {
 		fmt.Fprintf(&sb, "%-12s %9d %9d %7d %9d %8.2f%%\n",
 			row.Record, row.Sessions, row.Samples, row.Beats, row.RefBeats, 100*row.Accuracy)
 	}
 	st := r.Stats
-	fmt.Fprintf(&sb, "service: %d frames, %d samples, %d connects, %d finishes (%d evictions, %d dup, %d gap)\n",
-		st.Frames, st.Samples, st.Connects, st.Finishes, st.Evictions, st.DupFrames, st.GapFrames)
-	fmt.Fprintf(&sb, "throughput: %.0f samples/s on one goroutine = %.0f live sessions/core at %d Hz (GOMAXPROCS %d)\n",
-		r.SamplesPerSec, r.SessionsPerCore, r.FS, runtime.GOMAXPROCS(0))
+	fmt.Fprintf(&sb, "service: %d frames, %d samples, %d connects, %d finishes (%d evictions)\n",
+		st.Frames, st.Samples, st.Connects, st.Finishes, st.Evictions)
+	fmt.Fprintf(&sb, "delivery: %d dup, %d gaps, %d reordered, %d lost, %d concealed, %d restarts; transport %d frames, %d retries, %d shed\n",
+		st.DupFrames, st.GapFrames, st.Reordered, st.LostFrames, st.Concealed, st.GapRestarts,
+		r.Transport.Frames, r.Transport.Retries, r.Transport.Shed)
+	if faulty {
+		fmt.Fprintf(&sb, "recovered detection: %.2f%% of reference beats\n", 100*r.Recovered)
+	}
+	fmt.Fprintf(&sb, "throughput: %.0f samples/s across %d shard(s) = %.0f live sessions/core at %d Hz (GOMAXPROCS %d)\n",
+		r.SamplesPerSec, r.Opts.Shards, r.SessionsPerCore, r.FS, runtime.GOMAXPROCS(0))
 	return sb.String()
 }

@@ -2,7 +2,16 @@
 // streaming sessions per core over the streaming Pan-Tompkins pipeline —
 // the deployment shape of XBioSiP's near-sensor processing: many wearable
 // acquisition nodes feeding one edge gateway that runs QRS detection live
-// for every patient.
+// for every patient, over radio links that lose, duplicate and reorder
+// packets.
+//
+// The package is layered like the deployment it models:
+//
+//   - Service — one single-goroutine session pool (one core's worth).
+//   - Gateway — N Service shards behind one ingest/drain front door,
+//     with a deterministic merged event stream.
+//   - FaultLink + Run — the client/radio side: framing, fault injection
+//     and the retry-with-backoff delivery loop, all wall-clock-free.
 //
 // # Session pool
 //
@@ -12,31 +21,79 @@
 // pipeline+detector pair per slot that is recycled across occupants via
 // Stream.Restart. There are no per-session goroutines and no steady-state
 // allocation; a Service is single-goroutine and a multi-core deployment
-// runs one Service shard per core.
+// runs one Service shard per core — which is exactly what Gateway does.
 //
 // # Framing
 //
 // Ingest accepts frames modeled on BLE wearable links (see frame.go): an
 // 8-byte header — session id, wrapping sequence number, sample count,
 // flags — followed by up to MaxFrameSamples little-endian int16 samples,
-// packed back-to-back per ingest buffer. Unknown sessions connect
-// implicitly; FlagStart restarts a live session in place (reconnect);
-// FlagEnd finishes it once its buffer drains. Duplicate- and
-// future-sequence frames are dropped and counted, so the accepted sample
-// sequence of a session is always in-order and gap-free, and the
-// detection events the service emits for it are bit-identical to
-// pantompkins.Pipeline.Stream over the same samples.
+// packed back-to-back per ingest buffer. SplitFrames chunks an arbitrary
+// sample slice into such frames. Unknown sessions connect implicitly;
+// FlagStart restarts a live session in place (reconnect); FlagEnd
+// finishes it once its buffer drains.
+//
+// # Gap degradation
+//
+// A sequence gap means frames were lost upstream. Config.Conceal selects
+// how the session degrades:
+//
+//   - GapDrop (default, the legacy behaviour) drops ahead-of-sequence
+//     frames and waits for the missing one, keeping the accepted stream
+//     gap-free: under fault-free delivery the detection a session emits is
+//     bit-identical to pantompkins.Pipeline.Stream over the same samples.
+//   - GapHold conceals the estimated missing span by repeating the last
+//     accepted sample; detection continues over a flat segment. The
+//     cheapest concealment and the most accurate under moderate loss (see
+//     the DeliveryResilience experiment).
+//   - GapZero conceals with zeros. The high-pass stage sees a step edge
+//     at both gap boundaries, which costs more detection accuracy than
+//     GapHold but marks gaps unmistakably in the archived signal.
+//   - GapRestart conceals short gaps like GapHold, but a gap of at least
+//     Config.GapRestartSamples restarts the session's detector in place:
+//     past a long outage the detector's thresholds and RR history
+//     describe a signal that no longer exists, and relearning beats
+//     extrapolating.
+//
+// Every gap emits an EventGap with the synthesized span, counts into
+// Stats (GapFrames, LostFrames, Concealed, GapRestarts) and into the
+// per-occupant Health report SessionHealth exposes, so a client can mark
+// exactly which stretches of a live detection are degraded. A per-slot
+// acceptance bitmap distinguishes true duplicates from reordered frames
+// that straggle in after their slot was concealed past.
 //
 // # Backpressure and eviction
 //
 // Each session owns a bounded ring (Config.BufferSamples). A frame that
 // does not fit is rejected with ErrBackpressure and not consumed — the
-// transport's cue to Drain and retry. When a new session connects into a
-// full pool, the slowest consumer — largest backlog, ties to the
+// transport's cue to Drain and retry; Run implements that contract with
+// exponential drain-backoff. When a new session connects into a full
+// pool, the slowest consumer — largest backlog, ties to the
 // least-recently active, then lowest slot — is evicted deterministically,
 // its buffered samples discarded, and an EventEvicted emitted on the next
 // Drain. Drain advances every live session up to Config.Quantum samples
 // and appends live detection events (the full decision trace plus
 // accepted beats, optionally with sample-to-event latency) to a reusable
 // buffer.
+//
+// # Sharded gateway
+//
+// Gateway hashes each session id onto one of N Service shards and drains
+// all shards on per-shard worker goroutines, then merges the event
+// batches into a canonical order keyed by admission rank — the slot a
+// single unsharded Service would have assigned, including slot reuse.
+// The merged stream is therefore bit-identical for every shard count,
+// and, under fault-free delivery, bit-identical to one unsharded Service
+// fed the same frames; TestGatewayBitIdentity pins this for shard counts
+// {1, 2, 4, 8}.
+//
+// # Fault injection
+//
+// FaultLink is a deterministic lossy-link model for the wire between
+// SplitFrames and Ingest: seeded splitmix64 draws decide packet loss,
+// burst dropout, duplication and bounded reordering, so every delivery
+// schedule — and every downstream event stream — is reproducible from
+// FaultConfig.Seed. Run drives whole sessions through such links and a
+// Sink (Service or Gateway), measured in drain cycles rather than wall
+// clock, which is what makes the DeliveryResilience experiment exact.
 package serve

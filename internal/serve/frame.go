@@ -65,6 +65,39 @@ func AppendFrame(dst []byte, session uint32, seq uint16, flags uint8, samples []
 	return dst
 }
 
+// SplitFrames appends the wire encoding of samples to dst, split into as
+// many frames as MaxFrameSamples requires, with consecutive sequence
+// numbers starting at seq. FlagStart in flags is carried by the first
+// frame only and FlagEnd by the last only; an empty sample slice encodes
+// one zero-count control frame. It returns the extended buffer and the
+// next unused sequence number, so a transport loop can hand-off between
+// calls:
+//
+//	buf, seq = serve.SplitFrames(buf[:0], id, seq, flags, chunk)
+func SplitFrames(dst []byte, session uint32, seq uint16, flags uint8, samples []int16) ([]byte, uint16) {
+	first := true
+	for {
+		n := len(samples)
+		if n > MaxFrameSamples {
+			n = MaxFrameSamples
+		}
+		f := flags
+		if !first {
+			f &^= FlagStart
+		}
+		if n < len(samples) {
+			f &^= FlagEnd
+		}
+		dst = AppendFrame(dst, session, seq, f, samples[:n])
+		seq++
+		samples = samples[n:]
+		first = false
+		if len(samples) == 0 {
+			return dst, seq
+		}
+	}
+}
+
 // frameHeader is the decoded fixed part of one frame.
 type frameHeader struct {
 	session uint32

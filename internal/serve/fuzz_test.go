@@ -1,0 +1,121 @@
+package serve
+
+import (
+	"testing"
+)
+
+// FuzzParseFrame throws arbitrary bytes at the frame decoder: it must
+// never panic, and whatever it accepts must be internally consistent
+// (declared count matches payload length and total size) and re-encode
+// to the exact input bytes.
+func FuzzParseFrame(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(AppendFrame(nil, 1, 0, FlagStart, []int16{1, -2, 3}))
+	f.Add(AppendFrame(nil, 0xFFFFFFFF, 0xFFFF, 0xFF, nil))
+	seed := make([]int16, MaxFrameSamples)
+	f.Add(AppendFrame(nil, 7, 9, FlagEnd, seed))
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 255, 0}) // count > MaxFrameSamples
+	f.Fuzz(func(t *testing.T, b []byte) {
+		hdr, payload, n, err := parseFrame(b)
+		if err != nil {
+			if err != ErrTruncated {
+				t.Fatalf("parseFrame error %v, want ErrTruncated", err)
+			}
+			return
+		}
+		if hdr.count < 0 || hdr.count > MaxFrameSamples {
+			t.Fatalf("accepted count %d", hdr.count)
+		}
+		if len(payload) != 2*hdr.count || n != FrameHeader+2*hdr.count || n > len(b) {
+			t.Fatalf("inconsistent decode: count=%d payload=%d n=%d len=%d",
+				hdr.count, len(payload), n, len(b))
+		}
+		samples := make([]int16, hdr.count)
+		for i := range samples {
+			samples[i] = sampleAt(payload, i)
+		}
+		enc := AppendFrame(nil, hdr.session, hdr.seq, hdr.flags, samples)
+		if len(enc) != n {
+			t.Fatalf("re-encoded to %d bytes, parsed %d", len(enc), n)
+		}
+		for i := range enc {
+			if enc[i] != b[i] {
+				t.Fatalf("re-encode differs at byte %d", i)
+			}
+		}
+	})
+}
+
+// FuzzIngest feeds arbitrary byte streams to a small service and checks
+// it never panics and never corrupts its pool invariants — and that a
+// well-formed session still works afterwards.
+func FuzzIngest(f *testing.F) {
+	f.Add([]byte{}, uint8(0))
+	f.Add(AppendFrame(nil, 1, 0, FlagStart, []int16{100, -100}), uint8(1))
+	var buf []byte
+	buf, _ = SplitFrames(buf, 2, 0, FlagStart|FlagEnd, make([]int16, 100))
+	f.Add(buf, uint8(3))
+	f.Add([]byte{1, 0, 0, 0, 5, 0, 70, 2, 9, 9}, uint8(2)) // oversized count
+	f.Fuzz(func(t *testing.T, b []byte, policy uint8) {
+		s, err := New(Config{
+			FS: 360, MaxSessions: 4, BufferSamples: 256, Quantum: 32,
+			Conceal: GapPolicy(policy % 4), GapRestartSamples: 64,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Ingest in two arbitrary chunks with drains interleaved, the way
+		// a transport loop would under backpressure.
+		half := len(b) / 2
+		for _, chunk := range [][]byte{b[:half], b[half:], b} {
+			for i := 0; i < 4; i++ {
+				if _, err := s.Ingest(chunk); err != ErrBackpressure {
+					break
+				}
+				s.Drain(nil)
+			}
+			s.Drain(nil)
+		}
+		for s.Buffered() > 0 {
+			s.Drain(nil)
+		}
+
+		// Pool invariants: session count matches occupied slots, and every
+		// indexed session points at a slot that holds it.
+		occupied := 0
+		for slot, u := range s.used {
+			if u {
+				occupied++
+				if got, ok := s.index[s.ids[slot]]; !ok || got != int32(slot) {
+					t.Fatalf("slot %d occupant %d not indexed back", slot, s.ids[slot])
+				}
+			}
+		}
+		if occupied != len(s.index) || occupied+len(s.free) != s.cfg.MaxSessions {
+			t.Fatalf("pool corrupt: %d occupied, %d indexed, %d free of %d",
+				occupied, len(s.index), len(s.free), s.cfg.MaxSessions)
+		}
+
+		// The service must still serve a clean session end to end.
+		rec := make([]int16, 500)
+		for i := range rec {
+			rec[i] = int16(i % 7)
+		}
+		finished := false
+		_, err = Run(s, TransportConfig{},
+			[]Source{{Session: 0xA11CE, Samples: rec}},
+			func(evs []Event) {
+				for _, ev := range evs {
+					if ev.Kind == EventFinished && ev.Session == 0xA11CE {
+						finished = true
+					}
+				}
+			})
+		if err != nil {
+			t.Fatalf("clean session rejected: %v", err)
+		}
+		if !finished {
+			t.Fatal("clean session after fuzz input did not finish")
+		}
+	})
+}

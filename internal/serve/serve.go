@@ -7,6 +7,52 @@ import (
 	"github.com/xbiosip/xbiosip/internal/pantompkins"
 )
 
+// GapPolicy selects how a session degrades when frames are lost
+// upstream (a sequence gap on an otherwise live session).
+type GapPolicy uint8
+
+const (
+	// GapDrop is the legacy policy: frames ahead of the expected
+	// sequence are dropped and the session waits for the missing frame,
+	// so a single lost frame stalls detection until the sequence wraps.
+	// It keeps the accepted sample stream gap-free, which is the right
+	// trade on a reliable transport where "loss" is only reordering.
+	GapDrop GapPolicy = iota
+	// GapHold conceals the estimated missing samples by repeating the
+	// last accepted sample, then accepts the frame. Detection continues
+	// with a flat segment where the signal was lost.
+	GapHold
+	// GapZero conceals the estimated missing samples with zeros. The
+	// HPF sees a step edge at the gap boundaries, which costs more
+	// detection accuracy than GapHold under the same loss (see the
+	// DeliveryResilience experiment) but marks gaps unmistakably in the
+	// archived signal.
+	GapZero
+	// GapRestart conceals short gaps like GapHold, but a gap of at
+	// least Config.GapRestartSamples estimated samples restarts the
+	// session's detector in place (buffered samples are discarded, like
+	// a FlagStart reconnect): past a long outage the detector's
+	// thresholds and RR history describe a signal that no longer
+	// exists, and relearning beats extrapolating.
+	GapRestart
+)
+
+// String names the policy.
+func (p GapPolicy) String() string {
+	switch p {
+	case GapDrop:
+		return "drop"
+	case GapHold:
+		return "hold"
+	case GapZero:
+		return "zero"
+	case GapRestart:
+		return "restart"
+	default:
+		return fmt.Sprintf("GapPolicy(%d)", int(p))
+	}
+}
+
 // Config parameterises a Service.
 type Config struct {
 	// FS is the per-session sampling rate in Hz (default 360, the
@@ -25,6 +71,15 @@ type Config struct {
 	// Quantum caps the samples drained per session per Drain call,
 	// interleaving sessions fairly; 0 drains each session fully.
 	Quantum int
+	// Conceal selects the gap-degradation policy applied when frames
+	// are lost upstream (default GapDrop, the legacy wait-for-retry
+	// behaviour). See GapPolicy.
+	Conceal GapPolicy
+	// GapRestartSamples is the estimated-gap length (in samples) at
+	// which GapRestart abandons concealment and restarts the detector
+	// (default FS, one second of signal). Policies other than
+	// GapRestart ignore it.
+	GapRestartSamples int
 	// TrackLatency stamps every ingested sample and reports
 	// sample-to-event latency on emitted events (one extra int64 per
 	// buffered sample).
@@ -51,6 +106,11 @@ const (
 	// EventFinished reports a session that drained to its FlagEnd
 	// frame and flushed its detector.
 	EventFinished
+	// EventGap reports a sequence gap on a session: frames were lost
+	// upstream and the concealment policy synthesized Event.Gap samples
+	// (or restarted the detector — see Stats.GapRestarts). Clients use
+	// it to mark the affected span of the live detection as degraded.
+	EventGap
 )
 
 // String names the event kind.
@@ -64,6 +124,8 @@ func (k EventKind) String() string {
 		return "evicted"
 	case EventFinished:
 		return "finished"
+	case EventGap:
+		return "gap"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}
@@ -84,6 +146,10 @@ type Event struct {
 	// LatencyNs is the sample-to-event latency of the sample whose push
 	// produced this event (Config.TrackLatency only).
 	LatencyNs int64
+	// Gap is the number of samples the concealment policy synthesized
+	// for a lost-frame gap (EventGap only; 0 otherwise). A GapRestart
+	// episode reports the estimated gap length it skipped instead.
+	Gap int
 }
 
 // Stats counts service activity since construction.
@@ -94,10 +160,23 @@ type Stats struct {
 	Reconnects   uint64 // FlagStart on a live session
 	Evictions    uint64 // sessions removed by the slow-consumer policy
 	Finishes     uint64 // sessions completed via FlagEnd
-	DupFrames    uint64 // duplicate/old-sequence frames dropped
-	GapFrames    uint64 // future-sequence frames dropped (loss upstream)
+	DupFrames    uint64 // duplicate frames dropped (sequence already accepted)
+	GapFrames    uint64 // gap episodes: frames that arrived ahead of sequence
+	Reordered    uint64 // late frames whose slot was already concealed past
+	LostFrames   uint64 // frames estimated lost upstream (sum of gap widths)
+	Concealed    uint64 // samples synthesized by the concealment policy
+	GapRestarts  uint64 // detector restarts forced by over-threshold gaps
 	Truncated    uint64 // ingest buffers rejected mid-frame
 	Backpressure uint64 // frames rejected by a full session buffer
+}
+
+// Health is the degraded-state report of one live session: how much of
+// its accepted signal is synthetic and how often its detector was
+// restarted by the gap policy.
+type Health struct {
+	Gaps      uint32 // gap episodes concealed or restarted over
+	Concealed uint64 // samples synthesized for this occupant
+	Restarts  uint32 // gap-forced detector restarts
 }
 
 // Service multiplexes many concurrent patient sessions over streaming
@@ -117,6 +196,9 @@ type Service struct {
 	ids      []uint32              // occupant session id
 	used     []bool                // slot occupied
 	seqs     []uint16              // next expected frame sequence
+	seen     []uint64              // acceptance bitmap of the last 64 sequences
+	lastS    []int16               // last accepted sample (hold-last concealment)
+	health   []Health              // per-occupant degraded-state counters
 	ended    []bool                // FlagEnd received; finish after drain
 	heads    []int32               // ring read position
 	counts   []int32               // buffered samples
@@ -147,6 +229,12 @@ func New(cfg Config) (*Service, error) {
 	if cfg.BufferSamples <= 0 {
 		cfg.BufferSamples = 2 * cfg.FS
 	}
+	if cfg.GapRestartSamples <= 0 {
+		cfg.GapRestartSamples = cfg.FS
+	}
+	if cfg.Conceal > GapRestart {
+		return nil, fmt.Errorf("serve: unknown gap policy %v", cfg.Conceal)
+	}
 	if _, err := pantompkins.New(cfg.Pipeline); err != nil {
 		return nil, err
 	}
@@ -157,6 +245,9 @@ func New(cfg Config) (*Service, error) {
 		ids:      make([]uint32, n),
 		used:     make([]bool, n),
 		seqs:     make([]uint16, n),
+		seen:     make([]uint64, n),
+		lastS:    make([]int16, n),
+		health:   make([]Health, n),
 		ended:    make([]bool, n),
 		heads:    make([]int32, n),
 		counts:   make([]int32, n),
@@ -187,6 +278,17 @@ func (s *Service) Sessions() int { return len(s.index) }
 // Stats returns the activity counters.
 func (s *Service) Stats() Stats { return s.stats }
 
+// Buffered returns the total samples queued across all live sessions.
+func (s *Service) Buffered() int {
+	total := 0
+	for slot, u := range s.used {
+		if u {
+			total += int(s.counts[slot])
+		}
+	}
+	return total
+}
+
 // Backlog returns the buffered sample count of a live session.
 func (s *Service) Backlog(session uint32) (int, bool) {
 	slot, ok := s.index[session]
@@ -194,6 +296,17 @@ func (s *Service) Backlog(session uint32) (int, bool) {
 		return 0, false
 	}
 	return int(s.counts[slot]), true
+}
+
+// SessionHealth returns a live session's degraded-state report: the gap
+// episodes, concealed samples and gap-forced detector restarts of the
+// current occupant (FlagStart reconnects clear it).
+func (s *Service) SessionHealth(session uint32) (Health, bool) {
+	slot, ok := s.index[session]
+	if !ok {
+		return Health{}, false
+	}
+	return s.health[slot], true
 }
 
 // Detection exposes a live session's detection so far. The result aliases
@@ -243,28 +356,105 @@ func (s *Service) ingestFrame(hdr frameHeader, payload []byte) error {
 	} else if hdr.flags&FlagStart != 0 {
 		s.restart(slot, hdr.seq)
 	}
+	conceal, gap, restart := 0, 0, false
 	if hdr.seq != s.seqs[slot] {
 		// Sequence-window comparison under uint16 wraparound: behind the
-		// expected number is a duplicate or reordered copy, ahead means
-		// frames were lost upstream. Either way the frame is dropped and
-		// the accepted sample sequence stays gap-free in order.
-		if int16(hdr.seq-s.seqs[slot]) < 0 {
-			s.stats.DupFrames++
-		} else {
-			s.stats.GapFrames++
+		// expected number is a duplicate or a reordered copy arriving
+		// late, ahead means frames were lost upstream.
+		d := int16(hdr.seq - s.seqs[slot])
+		if d < 0 {
+			// The acceptance bitmap distinguishes a true duplicate (its
+			// sequence was accepted) from a reordered frame whose slot
+			// the concealment policy already synthesized past. Under
+			// GapDrop nothing is ever concealed, so every behind-frame
+			// counts as a duplicate, exactly the legacy accounting.
+			dist := uint16(-d)
+			if s.cfg.Conceal == GapDrop || dist > 64 || s.seen[slot]>>(dist-1)&1 == 1 {
+				s.stats.DupFrames++
+			} else {
+				s.stats.Reordered++
+			}
+			return nil
 		}
-		return nil
+		if s.cfg.Conceal == GapDrop {
+			// Legacy: wait for the missing frame (or a wrap) instead of
+			// degrading. The accepted stream stays gap-free in order.
+			s.stats.GapFrames++
+			return nil
+		}
+		// Estimate the missing span from the gap width and this frame's
+		// sample count (links run fixed-size frames in the steady
+		// state), clamped so the frame can always fit an empty buffer —
+		// otherwise a huge gap would backpressure forever.
+		gap = int(d)
+		conceal = gap * hdr.count
+		if max := s.bufN - hdr.count; conceal > max {
+			conceal = max
+		}
+		restart = s.cfg.Conceal == GapRestart && gap*hdr.count >= s.cfg.GapRestartSamples
+		if restart {
+			conceal = 0
+		}
 	}
-	if int(s.counts[slot])+hdr.count > s.bufN {
+	// Nothing below this check mutates state: a rejected frame is
+	// re-offered verbatim after a drain, and its gap must account once.
+	// A gap-restart discards the backlog, so only the frame itself must
+	// fit.
+	have := int(s.counts[slot]) + conceal
+	if restart {
+		have = 0
+	}
+	if have+hdr.count > s.bufN {
 		s.stats.Backpressure++
 		return ErrBackpressure
 	}
-	s.seqs[slot] = hdr.seq + 1
+	if gap > 0 {
+		s.stats.GapFrames++
+		s.stats.LostFrames += uint64(gap)
+		if restart {
+			// Past the threshold the detector's adaptive state describes
+			// a signal that is gone: restart in place (discarding the
+			// pre-gap backlog, like a FlagStart reconnect) and relearn.
+			s.pending = append(s.pending, Event{Session: hdr.session, Kind: EventGap, Peak: -1, Gap: gap * hdr.count})
+			s.reset(slot, hdr.seq)
+			s.health[slot].Gaps++
+			s.health[slot].Restarts++
+			s.stats.GapRestarts++
+		} else {
+			s.pending = append(s.pending, Event{Session: hdr.session, Kind: EventGap, Peak: -1, Gap: conceal})
+			s.health[slot].Gaps++
+		}
+	}
 	base := slot * int32(s.bufN)
 	var now int64
 	if s.cfg.TrackLatency {
 		now = s.nowFn()
 	}
+	if conceal > 0 {
+		fill := s.lastS[slot]
+		if s.cfg.Conceal == GapZero {
+			fill = 0
+		}
+		for i := 0; i < conceal; i++ {
+			idx := base + (s.heads[slot]+s.counts[slot])%int32(s.bufN)
+			s.ring[idx] = fill
+			if s.cfg.TrackLatency {
+				s.ts[idx] = now
+			}
+			s.counts[slot]++
+		}
+		s.health[slot].Concealed += uint64(conceal)
+		s.stats.Concealed += uint64(conceal)
+	}
+	// Mark any skipped sequences unseen so their frames, should they
+	// straggle in after all, are counted Reordered rather than accepted
+	// out of order. (After a gap-restart the bitmap is already clear.)
+	if gap > 0 {
+		s.shiftSeen(slot, gap)
+	}
+	s.seqs[slot] = hdr.seq + 1
+	s.shiftSeen(slot, 1)
+	s.seen[slot] |= 1
 	for i := 0; i < hdr.count; i++ {
 		idx := base + (s.heads[slot]+s.counts[slot])%int32(s.bufN)
 		s.ring[idx] = sampleAt(payload, i)
@@ -272,6 +462,9 @@ func (s *Service) ingestFrame(hdr frameHeader, payload []byte) error {
 			s.ts[idx] = now
 		}
 		s.counts[slot]++
+	}
+	if hdr.count > 0 {
+		s.lastS[slot] = sampleAt(payload, hdr.count-1)
 	}
 	if hdr.flags&FlagEnd != 0 {
 		s.ended[slot] = true
@@ -281,6 +474,16 @@ func (s *Service) ingestFrame(hdr frameHeader, payload []byte) error {
 	s.stats.Frames++
 	s.stats.Samples += uint64(hdr.count)
 	return nil
+}
+
+// shiftSeen advances a slot's acceptance bitmap by n sequence positions,
+// shifting unaccepted zero bits in.
+func (s *Service) shiftSeen(slot int32, n int) {
+	if n >= 64 {
+		s.seen[slot] = 0
+		return
+	}
+	s.seen[slot] <<= uint(n)
 }
 
 // connect claims a slot for a new session, evicting the slowest consumer
@@ -294,6 +497,7 @@ func (s *Service) connect(id uint32, seq uint16) int32 {
 	s.ids[slot] = id
 	s.used[slot] = true
 	s.index[id] = slot
+	s.health[slot] = Health{}
 	s.reset(slot, seq)
 	s.stats.Connects++
 	return slot
@@ -303,13 +507,19 @@ func (s *Service) connect(id uint32, seq uint16) int32 {
 // buffered samples are discarded and detection begins anew at the given
 // sequence number, exactly as if the session had reconnected.
 func (s *Service) restart(slot int32, seq uint16) {
+	s.health[slot] = Health{}
 	s.reset(slot, seq)
 	s.stats.Reconnects++
 }
 
-// reset clears a slot's per-occupant state and (re)starts its stream.
+// reset clears a slot's per-occupant detection state and (re)starts its
+// stream. Health counters survive: a gap-forced restart (GapRestart)
+// resets through here while the occupant's degraded-state history keeps
+// accumulating; connect and FlagStart clear them explicitly.
 func (s *Service) reset(slot int32, seq uint16) {
 	s.seqs[slot] = seq
+	s.seen[slot] = 0
+	s.lastS[slot] = 0
 	s.ended[slot] = false
 	s.heads[slot] = 0
 	s.counts[slot] = 0
