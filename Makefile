@@ -4,25 +4,26 @@
 # force-disabled (the bit-serial oracle path, including the scalar
 # activity simulator), benchmark smoke passes in both modes, focused
 # -race passes over the two global caches' concurrent cold builds, the
-# multi-patient streaming service and the sharded gateway, a fuzz smoke
+# multi-patient streaming service, the sharded gateway and the
+# batch-vs-scalar equivalence suites, a fuzz smoke
 # over the wire-frame parser, and a benchdiff smoke run over the
 # checked-in snapshot.
 
 GO ?= go
 
 # Benchmarks captured by `make bench-json` into BENCH_N.json snapshots.
-BENCH_JSON_PATTERN = KernelVsReference|PipelinePush|DSEWorkers|EvaluatorShards|Fig11ExplorationTime|Table2PreprocessingGrid|EnergyCharacterization|Activity|Serve|Gateway
+BENCH_JSON_PATTERN = KernelVsReference|PipelinePush|DSEWorkers|EvaluatorShards|Fig11ExplorationTime|Table2PreprocessingGrid|EnergyCharacterization|Activity|Serve|Gateway|BatchChain
 # Packages the bench-json pattern runs over.
 BENCH_JSON_PKGS = . ./internal/arith/kernel ./internal/netlist
 # Current snapshot file; bump per PR so the trajectory stays diffable.
-BENCH_SNAPSHOT = BENCH_7.json
+BENCH_SNAPSHOT = BENCH_8.json
 # Previous snapshot `make bench-diff` gates against.
-BENCH_BASELINE = BENCH_6.json
+BENCH_BASELINE = BENCH_7.json
 # Benchmarks that must exist in the current snapshot (catches a pattern
 # or harness regression silently dropping the new energy benchmarks).
-BENCH_REQUIRE = EnergyCharacterization/cold|Table2PreprocessingGrid/scratch|Activity/lanes|Serve/sessions|Serve/latency|Gateway/shards=1|Gateway/shards=4
+BENCH_REQUIRE = EnergyCharacterization/cold|Table2PreprocessingGrid/scratch|Activity/lanes|Serve/sessions|Serve/sessions-scalar|Serve/latency|Gateway/shards=1|Gateway/shards=4|BatchChain/ama5-k16/batch64|BatchChain/ama5-k16/scalar
 
-.PHONY: all build vet test race race-arith race-energy race-serve race-gateway fuzz-smoke test-reference bench bench-reference bench-json bench-diff bench-diff-smoke ci
+.PHONY: all build vet test race race-arith race-energy race-serve race-gateway race-batch fuzz-smoke test-reference bench bench-reference bench-json bench-diff bench-diff-smoke ci
 
 all: build
 
@@ -63,6 +64,13 @@ race-serve:
 race-gateway:
 	$(GO) test -race -count=1 -run 'Gateway|Transport|Fault|Gap|SplitFrames' ./internal/serve
 
+# The batch-evaluation equivalence suites across every layer that grew a
+# batched path — kernel BatchChain, dsp block hooks, PipelineBatch, the
+# batched serve drain and the netlist stream simulator — under -race,
+# with the per-sample/scalar paths as in-process oracles.
+race-batch:
+	$(GO) test -race -count=1 -run 'Batch|Streams|Discard' ./internal/arith/kernel ./internal/dsp ./internal/pantompkins ./internal/serve ./internal/netlist
+
 # Fuzz smoke: a few seconds of native fuzzing over the wire-frame parser
 # and the ingest path (never panic, never corrupt the session pool).
 fuzz-smoke:
@@ -75,6 +83,7 @@ fuzz-smoke:
 # oracle: keeps both oracle paths green.
 test-reference:
 	XBIOSIP_NO_KERNELS=1 $(GO) test -count=1 -race ./internal/arith/kernel ./internal/dsp ./internal/pantompkins ./internal/netlist ./internal/energy
+	XBIOSIP_NO_KERNELS=1 $(GO) test -count=1 -race -run 'Batch|Discard' ./internal/serve
 
 # One iteration of every benchmark: regenerates each table/figure once and
 # exercises the parallel DSE engine and the kernel-vs-reference
@@ -110,4 +119,4 @@ bench-diff:
 bench-diff-smoke:
 	$(GO) run ./cmd/benchdiff -threshold 0.15 -bytes-threshold 0.15 -allocs-threshold 0.15 -require '$(BENCH_REQUIRE)' $(BENCH_SNAPSHOT) $(BENCH_SNAPSHOT) > /dev/null
 
-ci: build vet race race-arith race-energy race-serve race-gateway fuzz-smoke test-reference bench bench-reference bench-diff-smoke
+ci: build vet race race-arith race-energy race-serve race-gateway race-batch fuzz-smoke test-reference bench bench-reference bench-diff-smoke

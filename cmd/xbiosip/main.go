@@ -43,6 +43,7 @@ func main() {
 	burst := flag.Float64("burst", 0, "injected burst-dropout entry probability for serve/delivery")
 	seed := flag.Uint64("seed", 1, "fault-injection seed; serve/delivery runs are reproducible from it")
 	policy := flag.String("policy", "hold", "gap-concealment policy for serve under faults (drop|hold|zero|restart)")
+	noBatch := flag.Bool("nobatch", false, "drain serve sessions one sample at a time (scalar oracle) instead of lane-packed batch rounds")
 	verbose := flag.Bool("v", false, "report kernel working-set statistics (per-design table footprint, global table cache)")
 	flag.Usage = usage
 	flag.Parse()
@@ -57,6 +58,7 @@ func main() {
 	}
 	if err := run(flag.Arg(0), *records, *samples, *psnr, *accuracy, *workers, *shards, *verbose, experiments.ServeOpts{
 		Sessions: *sessions, Shards: *gwShards, Loss: *loss, Burst: *burst, Seed: *seed, Policy: pol,
+		NoBatch: *noBatch,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "xbiosip:", err)
 		os.Exit(1)

@@ -1,0 +1,124 @@
+package kernel_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/xbiosip/xbiosip/internal/approx"
+	"github.com/xbiosip/xbiosip/internal/arith"
+	"github.com/xbiosip/xbiosip/internal/arith/kernel"
+)
+
+// BenchmarkBatchChain measures the multi-stream batch layer on the
+// 32-tap HPF chain shape: 64 independent streams, one 64-sample block
+// each per round. The */batch64 variant runs the round as one
+// BatchChain.Run call; */scalar is the per-stream per-sample
+// accumulation the streaming service used before batching (one product
+// lookup and one signed add closure call per tap per sample). Their
+// ns/sample ratio is the batch speedup at width 64.
+func BenchmarkBatchChain(b *testing.B) {
+	configs := []struct {
+		name string
+		add  arith.Adder
+		mul  arith.Multiplier
+	}{
+		{"ama5-k16",
+			arith.Adder{Width: 32, ApproxLSBs: 16, Kind: approx.ApproxAdd5},
+			arith.Multiplier{Width: 16, ApproxLSBs: 16, Mult: approx.AppMultV1, Add: approx.ApproxAdd5}},
+		{"ama4-k16",
+			arith.Adder{Width: 32, ApproxLSBs: 16, Kind: approx.ApproxAdd4},
+			arith.Multiplier{Width: 16, ApproxLSBs: 16, Mult: approx.AppMultV1, Add: approx.ApproxAdd4}},
+		{"ama1-k8",
+			arith.Adder{Width: 32, ApproxLSBs: 8, Kind: approx.ApproxAdd1},
+			arith.Multiplier{Width: 16, ApproxLSBs: 8, Mult: approx.AppMultV1, Add: approx.ApproxAdd1}},
+		{"exact",
+			arith.Adder{Width: 32, ApproxLSBs: 0, Kind: approx.AccAdd},
+			arith.Multiplier{Width: 16, ApproxLSBs: 0, Mult: approx.AccMult, Add: approx.AccAdd}},
+	}
+	type tap struct {
+		tab *kernel.ConstMulTable
+		lag int
+		sub bool
+	}
+	ops := make([]kernel.ChainOp, 32)
+	for i := range ops {
+		ops[i] = kernel.ChainOp{Coeff: 1, Lag: i, Sub: true}
+	}
+	ops[16] = kernel.ChainOp{Coeff: 31, Lag: 16}
+	const width, blockN = kernel.MaxBatch, 64
+	const shift, outW = uint(5), 16
+	rng := rand.New(rand.NewSource(17))
+	for _, cfg := range configs {
+		ad, err := kernel.CompileAdder(cfg.add)
+		if err != nil {
+			b.Fatal(err)
+		}
+		chain, err := ad.NewChain(cfg.mul, ops)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bc := chain.NewBatch()
+		lag := chain.MaxLag()
+		taps := make([]tap, len(ops))
+		for i, op := range ops {
+			tab, err := kernel.NewConstMulTable(cfg.mul, op.Coeff)
+			if err != nil {
+				b.Fatal(err)
+			}
+			taps[i] = tap{tab: tab, lag: op.Lag, sub: op.Sub}
+		}
+		// Identical inputs for both variants: per-stream [history|block]
+		// signals, dense history as in steady streaming.
+		packed := make([][]int64, width)
+		streams := make([]kernel.BatchIn, width)
+		dsts := make([][]int64, width)
+		for s := range packed {
+			sig := make([]int64, lag+blockN)
+			for i := range sig {
+				sig[i] = int64(int16(rng.Uint64()))
+			}
+			packed[s] = sig
+			dsts[s] = make([]int64, blockN)
+			streams[s] = kernel.BatchIn{Hist: sig[:lag], Xs: sig[lag:], Dst: dsts[s]}
+		}
+		const samples = width * blockN
+		b.Run(cfg.name+"/batch64", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				bc.Run(streams, shift, outW)
+			}
+			if sec := b.Elapsed().Seconds(); sec > 0 {
+				b.ReportMetric(1e9*sec/(float64(b.N)*samples), "ns/sample")
+			}
+		})
+		b.Run(cfg.name+"/scalar", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for s := range packed {
+					sig, dst := packed[s], dsts[s]
+					for j := lag; j < lag+blockN; j++ {
+						var acc int64
+						for o := range taps {
+							tp := &taps[o]
+							p := tp.tab.Mul(sig[j-tp.lag])
+							switch {
+							case o == 0 && tp.sub:
+								acc = ad.SubSigned(0, p)
+							case o == 0:
+								acc = p
+							case tp.sub:
+								acc = ad.SubSigned(acc, p)
+							default:
+								acc = ad.AddSigned(acc, p)
+							}
+						}
+						dst[j-lag] = arith.ToSigned(uint64(acc)>>shift, outW)
+					}
+				}
+			}
+			if sec := b.Elapsed().Seconds(); sec > 0 {
+				b.ReportMetric(1e9*sec/(float64(b.N)*samples), "ns/sample")
+			}
+		})
+	}
+}

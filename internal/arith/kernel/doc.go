@@ -134,6 +134,32 @@
 // the caches for cold-build benchmarks), so the working set is tracked
 // across PRs the way ns/op is.
 //
+// # Batched evaluation across independent streams
+//
+// BatchChain (Chain.NewBatch) evaluates one compiled chain over up to
+// MaxBatch = 64 independent streams per call. Every chain strategy
+// computes dst[i] from xs[i-lag] with lag <= Chain.MaxLag and reads
+// zeros before the signal start, so the batch runner packs each
+// stream's [MaxLag history prefix | sample block] back-to-back into one
+// scratch buffer, runs the chain function ONCE over the packed span,
+// and unpacks only the data positions — prefix outputs are discarded
+// and no data position ever reads across a stream boundary. Each tier's
+// per-sample win therefore multiplies across the batch unchanged:
+//
+//   - fused exact chains: one multiply-accumulate loop over the whole
+//     packed buffer;
+//   - wiring chains (AMA4/AMA5): the O(1) sliding projection window,
+//     restarted per packed region at the cost of one window refill;
+//   - chunk/native/generic taps: per-tap table loads (MulSlice) swept
+//     over the packed buffer instead of per-stream call overhead.
+//
+// The scalar Chain.Run path is the batch oracle: for any batch width
+// and lane assignment, every stream's outputs are bit-identical to
+// running it alone, in both kernel and XBIOSIP_NO_KERNELS modes. The
+// batch layer is what the record-sharded design evaluator
+// (core.Evaluator) and the multi-patient service (package serve) run
+// their same-config stream groups through.
+//
 // # Fallback to the bit-serial oracle
 //
 // Setting the environment variable XBIOSIP_NO_KERNELS (to anything but

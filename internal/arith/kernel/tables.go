@@ -184,6 +184,24 @@ func (t *ConstMulTable) Mul(x int64) int64 {
 // product with the whole active tier inline in the closure body.
 func (t *ConstMulTable) MulFunc() func(int64) int64 { return t.fn }
 
+// MulSlice multiplies a whole signal by the fixed coefficient into dst —
+// the batch ConstMul path: one call per vector with the full-table tier
+// inline in the loop, the tier closure per element otherwise. dst and xs
+// may be the same slice (a same-index transform).
+func (t *ConstMulTable) MulSlice(dst, xs []int64) {
+	if tab := t.tab32; tab != nil {
+		m := t.opMask
+		for i, x := range xs {
+			dst[i] = int64(tab[uint64(x)&m])
+		}
+		return
+	}
+	fn := t.fn
+	for i, x := range xs {
+		dst[i] = fn(x)
+	}
+}
+
 // Bytes returns the live table storage of this tier in bytes (zero for
 // the exact, table-free tier).
 func (t *ConstMulTable) Bytes() int64 {

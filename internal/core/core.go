@@ -62,9 +62,12 @@ type EvalOptions struct {
 	Workers int
 	// RecordShards splits one design evaluation into contiguous
 	// per-record-range sub-jobs on the worker pool: 0 selects one shard
-	// per record (the default), 1 keeps a design's records strictly
-	// sequential. Results are bit-identical for every value; see package
-	// sched.
+	// per record (the default), 1 keeps a design's records in one shard.
+	// A shard's records evaluate word-parallel through one shared batch
+	// plan (up to 64 records per round), so fewer shards mean wider
+	// batches and less plan dispatch, while more shards mean more
+	// cross-worker parallelism. Results are bit-identical for every
+	// value; see package sched.
 	RecordShards int
 }
 
@@ -101,12 +104,18 @@ type Evaluator struct {
 	}
 }
 
-// recScratch is one worker's reusable simulation state.
+// recScratch is one worker's reusable simulation state: per-record
+// pipelines plus the shared batch plan that evaluates a multi-record
+// shard word-parallel (rebound per configuration, its packed scratch
+// kept), the whole-record output buffers of the single-record path, and
+// the detector scratch the per-record decision pass reuses.
 type recScratch struct {
-	out  pantompkins.Outputs
-	det  pantompkins.PeakDetector
-	pipe *pantompkins.Pipeline
-	cfg  pantompkins.Config
+	det   pantompkins.PeakDetector
+	out   pantompkins.Outputs
+	cfg   pantompkins.Config
+	batch *pantompkins.PipelineBatch
+	pipes []*pantompkins.Pipeline
+	blks  [][]int16
 }
 
 // recPartial is the per-record slice of a Quality record.
@@ -139,7 +148,7 @@ func NewEvaluatorOpts(records []*ecg.Record, opts EvalOptions) (*Evaluator, erro
 		}
 		e.refs = append(e.refs, ref)
 	}
-	e.eng = sched.NewSharded[Quality, recPartial](opts.Workers, len(records), opts.RecordShards, e.evalRecord, e.reduce)
+	e.eng = sched.NewShardedRange[Quality, recPartial](opts.Workers, len(records), opts.RecordShards, e.evalRange, e.reduce)
 	return e, nil
 }
 
@@ -191,23 +200,78 @@ func (e *Evaluator) putScratch(sc *recScratch) {
 	e.scratch.free = append(e.scratch.free, sc)
 }
 
-// evalRecord simulates cfg over one record — the unit of the record-shard
-// scheduling level. After warm-up (a pooled scratch holding cfg's
-// pipeline exists) a call performs no allocations.
-func (e *Evaluator) evalRecord(cfg pantompkins.Config, ri int) (recPartial, error) {
+// evalRange simulates cfg over one contiguous record shard — the unit
+// of the record-shard scheduling level. A multi-record shard shares the
+// full stage configuration (it is one design), so its five pipeline
+// stages evaluate as batch rounds over one shared compiled plan
+// (pantompkins.PipelineBatch, ≤64 records word-parallel per round); the
+// quality and detection passes then run per record in order. A
+// single-record shard takes the whole-record scalar path instead — its
+// one block already amortizes plan dispatch over the full record, so
+// batching it would only add packing copies. Outputs are bit-identical
+// either way — the batch amortizes dispatch, it does not change
+// arithmetic — so cached Quality values match for every
+// (workers, shards) split. After warm-up (a pooled scratch holding
+// cfg's pipelines exists) a shard evaluation allocates nothing, and a
+// configuration change reuses the batch's packed scratch (Reset).
+func (e *Evaluator) evalRange(cfg pantompkins.Config, lo, hi int, parts []recPartial) error {
 	sc := e.getScratch()
 	defer e.putScratch(sc)
-	if sc.pipe == nil || sc.cfg != cfg {
+	n := hi - lo
+	if sc.cfg != cfg {
+		sc.cfg = cfg
+		sc.pipes = sc.pipes[:0]
+	}
+	for len(sc.pipes) < n {
 		p, err := pantompkins.New(cfg)
 		if err != nil {
-			return recPartial{}, err
+			return err
 		}
-		sc.pipe, sc.cfg = p, cfg
+		sc.pipes = append(sc.pipes, p)
 	}
+	if n == 1 {
+		rec := e.Records[lo]
+		sc.pipes[0].RunInto(&sc.out, rec.Samples)
+		p, err := e.gradeRecord(lo, sc.out.Filtered, sc.out.Integrated, sc)
+		if err != nil {
+			return err
+		}
+		parts[0] = p
+		return nil
+	}
+	if sc.batch == nil || sc.batch.Config() != cfg {
+		donor, err := pantompkins.New(cfg)
+		if err != nil {
+			return err
+		}
+		if sc.batch == nil {
+			sc.batch = pantompkins.NewPipelineBatch(donor)
+		} else {
+			sc.batch.Reset(donor)
+		}
+	}
+	sc.blks = sc.blks[:0]
+	for ri := lo; ri < hi; ri++ {
+		sc.pipes[ri-lo].Reset()
+		sc.blks = append(sc.blks, e.Records[ri].Samples)
+	}
+	filt, integ := sc.batch.Run(sc.pipes[:n], sc.blks)
+	for ri := lo; ri < hi; ri++ {
+		p, err := e.gradeRecord(ri, filt[ri-lo], integ[ri-lo], sc)
+		if err != nil {
+			return err
+		}
+		parts[ri-lo] = p
+	}
+	return nil
+}
+
+// gradeRecord runs detection and quality metrics over one record's
+// filtered/integrated signals.
+func (e *Evaluator) gradeRecord(ri int, filtered, integrated []int64, sc *recScratch) (recPartial, error) {
 	rec := e.Records[ri]
-	sc.pipe.RunInto(&sc.out, rec.Samples)
-	det := sc.det.Detect(sc.out.Filtered, sc.out.Integrated, rec.FS)
-	psnr, ssim, err := e.refs[ri].Quality(sc.out.Filtered)
+	det := sc.det.Detect(filtered, integrated, rec.FS)
+	psnr, ssim, err := e.refs[ri].Quality(filtered)
 	if err != nil {
 		return recPartial{}, err
 	}

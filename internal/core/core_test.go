@@ -260,11 +260,12 @@ func TestEvaluatorWarmShardAllocationFree(t *testing.T) {
 	if _, err := eval.Evaluate(cfg); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := eval.evalRecord(cfg, 0); err != nil {
+	parts := make([]recPartial, 1)
+	if err := eval.evalRange(cfg, 0, 1, parts); err != nil {
 		t.Fatal(err)
 	}
 	avg := testing.AllocsPerRun(50, func() {
-		if _, err := eval.evalRecord(cfg, 0); err != nil {
+		if err := eval.evalRange(cfg, 0, 1, parts); err != nil {
 			t.Fatal(err)
 		}
 	})

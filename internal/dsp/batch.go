@@ -1,0 +1,90 @@
+package dsp
+
+import (
+	"github.com/xbiosip/xbiosip/internal/arith"
+	"github.com/xbiosip/xbiosip/internal/arith/kernel"
+)
+
+// This file holds the hooks the multi-stream batch layer
+// (pantompkins.PipelineBatch) builds on: access to a stage's compiled
+// chain and delay-line state, plus block-continuation forms of the
+// stages whose FilterInto always restarts from a cleared state. Every
+// block path here is bit-identical to feeding the same samples through
+// Process one at a time from the stage's current state.
+
+// Chain returns the filter's compiled accumulation chain, the plan a
+// kernel.BatchChain evaluates across many independent streams. The
+// chain is immutable after compilation and carries no delay-line state,
+// so one filter's chain may serve as the shared batch plan for every
+// same-config stream of a round.
+func (f *FIR) Chain() *kernel.Chain { return f.chain }
+
+// OutShift returns the right shift applied to the accumulator before
+// the output slice — the shift a batch evaluation of Chain must apply
+// to match Process.
+func (f *FIR) OutShift() int { return f.outShift }
+
+// History returns the filter's last Len()-1 inputs oldest-first,
+// reading the live delay line (valid until the next Process, Advance or
+// Reset). A filter younger than its depth yields zeros at the front —
+// exactly the zero-filled short history kernel.BatchIn.Hist specifies —
+// so History always has the chain's MaxLag covered.
+func (f *FIR) History() []int64 {
+	return f.hist[f.pos+1 : f.pos+f.n]
+}
+
+// Advance pushes a block of inputs into the delay line without
+// evaluating any outputs, leaving the filter exactly as if the block
+// had been fed through Process. A batch round uses it to commit the
+// inputs it evaluated externally through the chain.
+func (f *FIR) Advance(xs []int64) {
+	n := f.n
+	for _, x := range xs {
+		f.hist[f.pos] = x
+		f.hist[f.pos+n] = x
+		f.pos++
+		if f.pos == n {
+			f.pos = 0
+		}
+	}
+}
+
+// ProcessBlock feeds a block through the integrator from its current
+// ring state, writing one output per input into dst (len(dst) must be
+// at least len(xs)). With an exact adder the window sum slides — seeded
+// from the live ring, so mid-stream continuation stays exact — which is
+// bit-identical to the per-sample fold because native addition is
+// associative modulo the accumulator width; approximate (and oracle
+// mode) adders are order-sensitive and keep the per-sample fold.
+func (m *MovingSum) ProcessBlock(dst, xs []int64) {
+	w := len(m.hist)
+	shift := uint(m.outShift)
+	if m.adder.Exact() {
+		const mW = uint64(1)<<AccWidth - 1
+		var s int64
+		for _, v := range m.hist {
+			s += v
+		}
+		for i, x := range xs {
+			s += x - m.hist[m.pos]
+			m.hist[m.pos] = x
+			m.pos++
+			if m.pos == w {
+				m.pos = 0
+			}
+			acc := arith.ToSigned(uint64(s)&mW, AccWidth)
+			dst[i] = arith.ToSigned(uint64(acc)>>shift, AccWidth-m.outShift)
+		}
+		return
+	}
+	for i, x := range xs {
+		dst[i] = m.Process(x)
+	}
+}
+
+// ProcessBlock squares a block into dst (len(dst) must be at least
+// len(xs); dst may alias xs index-for-index). The squarer is
+// combinational, so the block form is pure dispatch amortization.
+func (s *Squarer) ProcessBlock(dst, xs []int64) {
+	s.tab.SquareSlice(dst[:len(xs)], xs, uint(s.outShift))
+}

@@ -27,6 +27,10 @@ type ServeOpts struct {
 	Seed uint64
 	// Policy is the gap-concealment policy of every session.
 	Policy serve.GapPolicy
+	// NoBatch disables the batched drain (serve.Config.NoBatch): every
+	// shard processes its sessions one sample at a time through the
+	// scalar oracle path instead of lane-packed batch rounds.
+	NoBatch bool
 }
 
 // ServeRow aggregates the sessions of one record in the multi-patient
@@ -119,7 +123,7 @@ func (s *Setup) Serve(cfg pantompkins.Config, opts ServeOpts) (*ServeResult, err
 		Shards: opts.Shards,
 		Service: serve.Config{
 			FS: fs, Pipeline: cfg, MaxSessions: sessions * opts.Shards,
-			Conceal: opts.Policy,
+			Conceal: opts.Policy, NoBatch: opts.NoBatch,
 		},
 	})
 	if err != nil {
@@ -231,8 +235,12 @@ func (s *Setup) Serve(cfg pantompkins.Config, opts ServeOpts) (*ServeResult, err
 func FormatServe(cfg pantompkins.Config, r *ServeResult) string {
 	var sb strings.Builder
 	faulty := r.Opts.Loss > 0 || r.Opts.Burst > 0
-	fmt.Fprintf(&sb, "Serve workload: %v, %d-shard gateway, framed ingest, live per-session detection\n",
-		cfg, r.Opts.Shards)
+	drain := "lane-packed batch drain"
+	if r.Opts.NoBatch {
+		drain = "scalar per-sample drain"
+	}
+	fmt.Fprintf(&sb, "Serve workload: %v, %d-shard gateway, framed ingest, %s, live per-session detection\n",
+		cfg, r.Opts.Shards, drain)
 	if faulty {
 		fmt.Fprintf(&sb, "faulty delivery: loss %.2f, burst %.2f, policy %v, seed %d\n",
 			r.Opts.Loss, r.Opts.Burst, r.Opts.Policy, r.Opts.Seed)

@@ -87,6 +87,9 @@ func (s *Simulator) RunActivityStreams(ports []PortStimulus) (Activity, error) {
 	if err != nil {
 		return Activity{}, err
 	}
+	if vectors < 2 {
+		return Activity{}, fmt.Errorf("netlist %s: activity needs >= 2 vectors, got %d", s.n.Name, vectors)
+	}
 	if LanePackingEnabled() {
 		return s.runActivityLanes(vectors)
 	}
@@ -129,8 +132,8 @@ func (s *Simulator) bindStreams(ports []PortStimulus) (int, error) {
 			return 0, fmt.Errorf("netlist %s: missing stimulus for input %q", s.n.Name, p.Name)
 		}
 	}
-	if vectors < 2 {
-		return 0, fmt.Errorf("netlist %s: activity needs >= 2 vectors, got %d", s.n.Name, vectors)
+	if vectors < 1 {
+		return 0, fmt.Errorf("netlist %s: stimulus needs >= 1 vector, got %d", s.n.Name, vectors)
 	}
 	return vectors, nil
 }

@@ -27,28 +27,53 @@ func mustSim(t *testing.T, n *Netlist) *Simulator {
 	return s
 }
 
+// outStream returns the named output port's packed values from a
+// RunStreams result.
+func outStream(t *testing.T, outs []PortStimulus, name string) []uint64 {
+	t.Helper()
+	for _, o := range outs {
+		if o.Name == name {
+			return o.Values
+		}
+	}
+	t.Fatalf("no output port %q in RunStreams result", name)
+	return nil
+}
+
 // TestRCANetlistCrossValidation is the repository's ModelSim-vs-MATLAB
 // loop (paper Fig 9): the RCA netlist simulation must agree bit for bit
-// with the word-level behavioural model for every adder kind and k.
+// with the word-level behavioural model for every adder kind and k. The
+// whole vector sweep goes through RunStreams in one lane-packed call.
 func TestRCANetlistCrossValidation(t *testing.T) {
 	rng := rand.New(rand.NewSource(20))
+	const vectors = 50
 	for _, kind := range approx.AdderKinds {
 		for _, k := range []int{0, 1, 5, 8, 16, 32} {
 			ad := arith.Adder{Width: 32, ApproxLSBs: k, Kind: kind}
 			n := mustBuild(t)(GenRCA("rca32", ad))
 			sim := mustSim(t, n)
-			for i := 0; i < 50; i++ {
-				a := rng.Uint64() & 0xFFFFFFFF
-				b := rng.Uint64() & 0xFFFFFFFF
-				cin := rng.Uint64() & 1
-				out, err := sim.Run(map[string]uint64{"a": a, "b": b, "cin": cin})
-				if err != nil {
-					t.Fatal(err)
-				}
-				wantSum, wantCout := ad.AddCarry(a, b, uint8(cin))
-				if out["sum"] != wantSum || out["cout"] != uint64(wantCout) {
+			as := make([]uint64, vectors)
+			bs := make([]uint64, vectors)
+			cins := make([]uint64, vectors)
+			for i := range as {
+				as[i] = rng.Uint64() & 0xFFFFFFFF
+				bs[i] = rng.Uint64() & 0xFFFFFFFF
+				cins[i] = rng.Uint64() & 1
+			}
+			outs, err := sim.RunStreams([]PortStimulus{
+				{Name: "a", Values: as},
+				{Name: "b", Values: bs},
+				{Name: "cin", Values: cins},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sums, couts := outStream(t, outs, "sum"), outStream(t, outs, "cout")
+			for i := range as {
+				wantSum, wantCout := ad.AddCarry(as[i], bs[i], uint8(cins[i]))
+				if sums[i] != wantSum || couts[i] != uint64(wantCout) {
 					t.Fatalf("%v k=%d: netlist (%#x,%d) != behavioural (%#x,%d) for a=%#x b=%#x cin=%d",
-						kind, k, out["sum"], out["cout"], wantSum, wantCout, a, b, cin)
+						kind, k, sums[i], couts[i], wantSum, wantCout, as[i], bs[i], cins[i])
 				}
 			}
 		}
@@ -73,22 +98,29 @@ func TestMultiplierNetlistCrossValidation(t *testing.T) {
 		sim := mustSim(t, n)
 		iters := 60
 		if m.Width <= 4 {
-			iters = 256
+			iters = 256 // exhaustive: both ragged 64-lane blocks and a full one
 		}
-		for i := 0; i < iters; i++ {
-			var a, b uint64
+		as := make([]uint64, iters)
+		bs := make([]uint64, iters)
+		for i := range as {
 			if m.Width <= 4 {
-				a, b = uint64(i>>4)&0xF, uint64(i)&0xF
+				as[i], bs[i] = uint64(i>>4)&0xF, uint64(i)&0xF
 			} else {
-				a = rng.Uint64() & (1<<m.Width - 1)
-				b = rng.Uint64() & (1<<m.Width - 1)
+				as[i] = rng.Uint64() & (1<<m.Width - 1)
+				bs[i] = rng.Uint64() & (1<<m.Width - 1)
 			}
-			out, err := sim.Run(map[string]uint64{"a": a, "b": b})
-			if err != nil {
-				t.Fatal(err)
-			}
-			if want := m.Mul(a, b); out["p"] != want {
-				t.Fatalf("%+v: netlist %d != behavioural %d for %d*%d", m, out["p"], want, a, b)
+		}
+		outs, err := sim.RunStreams([]PortStimulus{
+			{Name: "a", Values: as},
+			{Name: "b", Values: bs},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ps := outStream(t, outs, "p")
+		for i := range as {
+			if want := m.Mul(as[i], bs[i]); ps[i] != want {
+				t.Fatalf("%+v: netlist %d != behavioural %d for %d*%d", m, ps[i], want, as[i], bs[i])
 			}
 		}
 	}
@@ -109,14 +141,18 @@ func TestConstPropPreservesFunction(t *testing.T) {
 			t.Fatalf("bound port b still present after ConstProp")
 		}
 		sim := mustSim(t, opt)
-		for i := 0; i < 100; i++ {
-			a := rng.Uint64() & 0xFFFF
-			out, err := sim.Run(map[string]uint64{"a": a})
-			if err != nil {
-				t.Fatal(err)
-			}
-			if want := m.Mul(a, coeff); out["p"] != want {
-				t.Fatalf("coeff %d: optimised netlist %d != behavioural %d for a=%d", coeff, out["p"], want, a)
+		as := make([]uint64, 100)
+		for i := range as {
+			as[i] = rng.Uint64() & 0xFFFF
+		}
+		outs, err := sim.RunStreams([]PortStimulus{{Name: "a", Values: as}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ps := outStream(t, outs, "p")
+		for i, a := range as {
+			if want := m.Mul(a, coeff); ps[i] != want {
+				t.Fatalf("coeff %d: optimised netlist %d != behavioural %d for a=%d", coeff, ps[i], want, a)
 			}
 		}
 	}

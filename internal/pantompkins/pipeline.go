@@ -212,6 +212,12 @@ func (s *Stream) Push(x int16) StreamSample {
 // Detector exposes the incremental detector (for live beat inspection).
 func (s *Stream) Detector() *StreamDetector { return s.det }
 
+// Pipeline exposes the stream's underlying pipeline, so a batched drain
+// can advance many same-config streams' stages through one
+// PipelineBatch round and feed the detectors from the round's outputs —
+// which is exactly equivalent to per-sample Push.
+func (s *Stream) Pipeline() *Pipeline { return s.p }
+
 // Restart clears the pipeline stages and the incremental detector in
 // place, beginning a fresh detection session on the same hardware without
 // allocating: the detector keeps its grown ring and event buffers. A

@@ -171,6 +171,23 @@ func (d *StreamDetector) Finish() *Detection {
 // complete). The result aliases the detector's buffers.
 func (d *StreamDetector) Detection() *Detection { return &d.det }
 
+// Discard drops the first events decision-trace entries and the first
+// peaks accepted beats (Peaks and MWIPeaks advance together) from the
+// Detection, compacting in place. The detector only ever appends to
+// these slices — no decision reads emitted history back — so a
+// long-lived consumer that has copied out a prefix can trim it to keep
+// the detector's memory bounded over unbounded streams. Counts must not
+// exceed the current lengths.
+func (d *StreamDetector) Discard(events, peaks int) {
+	if events > 0 {
+		d.det.Events = d.det.Events[:copy(d.det.Events, d.det.Events[events:])]
+	}
+	if peaks > 0 {
+		d.det.Peaks = d.det.Peaks[:copy(d.det.Peaks, d.det.Peaks[peaks:])]
+		d.det.MWIPeaks = d.det.MWIPeaks[:copy(d.det.MWIPeaks, d.det.MWIPeaks[peaks:])]
+	}
+}
+
 // seed computes the initial signal/noise estimates from the learning
 // accumulators, exactly like the whole-record pass.
 func (d *StreamDetector) seed(learn int) {

@@ -20,6 +20,17 @@ type Func[V any] func(cfg pantompkins.Config) (V, error)
 // concurrent use.
 type ItemFunc[P any] func(cfg pantompkins.Config, item int) (P, error)
 
+// RangeFunc computes the partials of one contiguous shard of work items
+// for one configuration, writing parts[i-lo] for every item i in
+// [lo, hi) it completes. Receiving the whole range at once lets the
+// implementation batch its items (e.g. evaluate many records'
+// same-config pipelines word-parallel) instead of being called item by
+// item. On error it must stop — later items left uncomputed, matching
+// the sequential stop-at-first-failure contract — and the error is
+// attributed to the shard's first failing item. Like ItemFunc it must
+// be deterministic and safe for concurrent use.
+type RangeFunc[P any] func(cfg pantompkins.Config, lo, hi int, parts []P) error
+
 // ReduceFunc folds the per-item partials of one configuration into the
 // cached value. The engine always presents parts in item order, whatever
 // the worker count or shard split, so a deterministic reduction gives
@@ -169,6 +180,25 @@ func New[V any](workers int, fn Func[V]) *Evaluator[V] {
 // methodology gates — reuses one scratch set per concurrent evaluation for
 // its whole lifetime. This is why ReduceFunc must not retain parts.
 func NewSharded[V, P any](workers, items, shards int, item ItemFunc[P], reduce ReduceFunc[V, P]) *Evaluator[V] {
+	return NewShardedRange[V](workers, items, shards, func(cfg pantompkins.Config, lo, hi int, parts []P) error {
+		for i := lo; i < hi; i++ {
+			p, err := item(cfg, i)
+			if err != nil {
+				return err
+			}
+			parts[i-lo] = p
+		}
+		return nil
+	}, reduce)
+}
+
+// NewShardedRange is NewSharded with the shard as the unit of work: each
+// sub-job hands its whole contiguous item range to rng in one call, so
+// the implementation can amortize per-item dispatch across the shard
+// (the batched record evaluation of core.Evaluator). Everything else —
+// caching, scatter, determinism, error precedence, scratch reuse —
+// matches NewSharded exactly.
+func NewShardedRange[V, P any](workers, items, shards int, rng RangeFunc[P], reduce ReduceFunc[V, P]) *Evaluator[V] {
 	e := New[V](workers, nil)
 	if shards <= 0 {
 		shards = items
@@ -178,14 +208,7 @@ func NewSharded[V, P any](workers, items, shards int, item ItemFunc[P], reduce R
 		sc := &shardScratch[P]{parts: make([]P, items), errs: make([]error, len(ranges))}
 		sc.run = func(s int) {
 			r := ranges[s]
-			for i := r.Lo; i < r.Hi; i++ {
-				p, err := item(sc.cfg, i)
-				if err != nil {
-					sc.errs[s] = err
-					return
-				}
-				sc.parts[i] = p
-			}
+			sc.errs[s] = rng(sc.cfg, r.Lo, r.Hi, sc.parts[r.Lo:r.Hi])
 		}
 		return sc
 	}}

@@ -1,0 +1,179 @@
+package serve
+
+import (
+	"testing"
+
+	"github.com/xbiosip/xbiosip/internal/arith/kernel"
+	"github.com/xbiosip/xbiosip/internal/pantompkins"
+)
+
+// TestServeBatchedMatchesScalarDrain runs two services — the default
+// batched drain and the Config.NoBatch per-sample oracle — through an
+// identical schedule of frames and drains: many concurrent sessions of
+// different lengths (batch membership churns as they finish), irregular
+// frame sizes, a quantum forcing multi-round drains with ring
+// wraparound, and a mid-record FlagStart reconnect. The two event
+// streams must be identical element for element. The oracle-mode
+// variant repeats a smaller schedule with the kernels disabled.
+func TestServeBatchedMatchesScalarDrain(t *testing.T) {
+	type variant struct {
+		name     string
+		kernels  bool
+		cfg      pantompkins.Config
+		sessions int
+		samples  int
+	}
+	variants := []variant{
+		{"kernels/b9", true, b9Config(), 12, 1500},
+		{"kernels/accurate", true, pantompkins.AccurateConfig(), 12, 1500},
+		{"reference/accurate", false, pantompkins.AccurateConfig(), 4, 700},
+	}
+	for _, v := range variants {
+		v := v
+		t.Run(v.name, func(t *testing.T) {
+			prev := kernel.SetEnabled(v.kernels)
+			defer kernel.SetEnabled(prev)
+			rec := record(t, 0, v.samples+v.sessions*40)
+			mk := func(noBatch bool) *Service {
+				s, err := New(Config{
+					FS:          rec.FS,
+					Pipeline:    v.cfg,
+					MaxSessions: v.sessions,
+					// Small ring + quantum: drains span several rounds
+					// and the ring wraps mid-record.
+					BufferSamples: 96,
+					Quantum:       40,
+					NoBatch:       noBatch,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return s
+			}
+			batched, scalar := mk(false), mk(true)
+			var evA, evB []Event
+			drainBoth := func() {
+				evA = batched.Drain(evA[:0])
+				evB = scalar.Drain(evB[:0])
+				if len(evA) != len(evB) {
+					t.Fatalf("batched drain emitted %d events, scalar %d", len(evA), len(evB))
+				}
+				for i := range evA {
+					if evA[i] != evB[i] {
+						t.Fatalf("event %d: batched %+v, scalar %+v", i, evA[i], evB[i])
+					}
+				}
+			}
+			ingestBoth := func(buf []byte) {
+				_, errA := batched.Ingest(buf)
+				_, errB := scalar.Ingest(buf)
+				if errA != errB {
+					t.Fatalf("ingest: batched err %v, scalar err %v", errA, errB)
+				}
+				if errA == ErrBackpressure {
+					drainBoth()
+					if _, err := batched.Ingest(buf); err != nil {
+						t.Fatal(err)
+					}
+					if _, err := scalar.Ingest(buf); err != nil {
+						t.Fatal(err)
+					}
+				} else if errA != nil {
+					t.Fatal(errA)
+				}
+			}
+			// Sessions of staggered lengths; session 3 reconnects in
+			// place halfway through.
+			type cursor struct {
+				pos, end int
+				seq      uint16
+			}
+			curs := make([]cursor, v.sessions)
+			for i := range curs {
+				curs[i].end = v.samples - (i*97)%600
+				if curs[i].end < 200 {
+					curs[i].end = 200
+				}
+			}
+			reconnected := false
+			active := v.sessions
+			for round := 0; active > 0; round++ {
+				for id := range curs {
+					c := &curs[id]
+					if c.pos >= c.end {
+						continue
+					}
+					n := 5 + (id*7+round*3)%19
+					if c.pos+n > c.end {
+						n = c.end - c.pos
+					}
+					flags := uint8(0)
+					if c.pos == 0 {
+						flags |= FlagStart
+					}
+					if id == 3 && !reconnected && c.pos > c.end/2 {
+						flags |= FlagStart
+						reconnected = true
+					}
+					if c.pos+n == c.end {
+						flags |= FlagEnd
+					}
+					frame := AppendFrame(nil, uint32(id+1), c.seq, flags, rec.Samples[c.pos:c.pos+n])
+					ingestBoth(frame)
+					c.seq++
+					c.pos += n
+					if c.pos >= c.end {
+						active--
+					}
+				}
+				if round%2 == 0 {
+					drainBoth()
+				}
+			}
+			for i := 0; i < 4; i++ { // flush quantum-limited backlogs
+				drainBoth()
+			}
+			if a, b := batched.Sessions(), scalar.Sessions(); a != 0 || b != 0 {
+				t.Fatalf("sessions still live after final drains: batched %d, scalar %d", a, b)
+			}
+			if a, b := batched.Stats(), scalar.Stats(); a != b {
+				t.Fatalf("stats diverged: batched %+v, scalar %+v", a, b)
+			}
+		})
+	}
+}
+
+// TestServeDrainBoundsDetectorMemory pins the trim contract: after many
+// drains of an endless session, the detector's retained trace stays
+// small instead of growing with the stream.
+func TestServeDrainBoundsDetectorMemory(t *testing.T) {
+	rec := record(t, 0, 20000)
+	s, err := New(Config{FS: rec.FS, Pipeline: pantompkins.AccurateConfig(), MaxSessions: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []Event
+	seq := uint16(0)
+	total := 0
+	var buf []byte
+	for pos := 0; pos+24 <= len(rec.Samples); pos += 24 {
+		buf = AppendFrame(buf[:0], 1, seq, 0, rec.Samples[pos:pos+24])
+		if _, err := s.Ingest(buf); err != nil {
+			t.Fatal(err)
+		}
+		seq++
+		events = s.Drain(events[:0])
+		total += len(events)
+		det, ok := s.Detection(1)
+		if !ok {
+			t.Fatal("session 1 not live")
+		}
+		if len(det.Events) > 64 || len(det.Peaks) > 64 {
+			t.Fatalf("retained trace grew to %d events / %d peaks at sample %d",
+				len(det.Events), len(det.Peaks), pos)
+		}
+	}
+	if total == 0 {
+		t.Fatal("stream produced no events")
+	}
+}

@@ -76,6 +76,25 @@
 // accepted beats, optionally with sample-to-event latency) to a reusable
 // buffer.
 //
+// # Batched drain
+//
+// All sessions of a Service share one pipeline configuration, so Drain
+// advances them together: each drain round gathers every live session
+// with buffered samples, takes direct views into their ingest rings
+// (copying only ring-wrap splits), and pushes all blocks through one
+// pantompkins.PipelineBatch round — the arithmetic stages evaluate
+// lane-packed across up to 64 sessions per kernel call, while each
+// session's filter delay lines, integrator windows and detector remain
+// its own. Sessions join and leave batch rounds freely as they connect,
+// finish or run dry; the per-sample detector feed, event order and
+// latency attribution are unchanged, so the drained event stream is
+// bit-identical to the per-sample path. Config.NoBatch selects that
+// per-sample path explicitly — it is the equivalence oracle the batched
+// drain is tested against. Either way, Drain trims each session's
+// already-emitted detection history (StreamDetector.Discard), so an
+// endless session's retained trace stays bounded by the drain cadence
+// instead of growing with the stream.
+//
 // # Sharded gateway
 //
 // Gateway hashes each session id onto one of N Service shards and drains

@@ -84,6 +84,12 @@ type Config struct {
 	// sample-to-event latency on emitted events (one extra int64 per
 	// buffered sample).
 	TrackLatency bool
+	// NoBatch forces the per-sample scalar drain path. The batched
+	// drain (the default) groups the live sessions into ≤64-stream
+	// rounds through one shared compiled plan per stage and is
+	// bit-identical per session; the scalar path remains as the
+	// service-level equivalence oracle and for benchmarks.
+	NoBatch bool
 	// Now overrides the timestamp source (UnixNano); nil selects
 	// time.Now. It exists for tests and latency benchmarks.
 	Now func() int64
@@ -215,6 +221,16 @@ type Service struct {
 	stats   Stats
 	nowFn   func() int64
 	tick    int64 // monotone accepted-frame counter (eviction ordering)
+
+	// Batched-drain round scratch (nil under Config.NoBatch): the live
+	// slots of the current Drain, their pipelines and sample blocks, and
+	// contiguous copies of the ring spans that wrap.
+	batch   *pantompkins.PipelineBatch
+	bslots  []int32
+	bns     []int32
+	bpipes  []*pantompkins.Pipeline
+	bblocks [][]int16
+	bbuf    []int16
 }
 
 // New builds a service. The pipeline configuration is validated here;
@@ -309,9 +325,11 @@ func (s *Service) SessionHealth(session uint32) (Health, bool) {
 	return s.health[slot], true
 }
 
-// Detection exposes a live session's detection so far. The result aliases
-// detector state: it is valid until the session is drained further,
-// restarted or closed, and must not be mutated.
+// Detection exposes a live session's decisions not yet emitted through
+// Drain (each Drain delivers and then discards the emitted prefix, so
+// detector memory stays bounded). The result aliases detector state: it
+// is valid until the session is drained further, restarted or closed,
+// and must not be mutated.
 func (s *Service) Detection(session uint32) (*pantompkins.Detection, bool) {
 	slot, ok := s.index[session]
 	if !ok {
@@ -578,6 +596,16 @@ func (s *Service) close(slot int32) {
 // allocation-free). Sessions whose FlagEnd frame has fully drained are
 // flushed, emit EventFinished and release their slot. Pending eviction
 // events from Ingest are delivered first.
+//
+// By default the five pipeline stages run batched: the live sessions
+// group into ≤64-stream rounds evaluated through one shared compiled
+// plan per stage (pantompkins.PipelineBatch), with per-session state in
+// the slot pool's parallel arrays; sessions join and leave rounds as
+// they connect, stall and finish. The emitted event sequence per
+// session is bit-identical to the per-sample path (Config.NoBatch).
+// Either way, each surviving session's already-emitted decision prefix
+// is discarded after collection, so detector memory stays bounded over
+// unbounded streams.
 func (s *Service) Drain(events []Event) []Event {
 	events = append(events, s.pending...)
 	s.pending = s.pending[:0]
@@ -585,6 +613,16 @@ func (s *Service) Drain(events []Event) []Event {
 	if s.cfg.TrackLatency {
 		now = s.nowFn()
 	}
+	if s.cfg.NoBatch {
+		return s.drainScalar(events, now)
+	}
+	return s.drainBatched(events, now)
+}
+
+// drainScalar is the per-sample drain path: every buffered sample goes
+// through Stream.Push one at a time. It is the service-level
+// equivalence oracle for the batched path.
+func (s *Service) drainScalar(events []Event, now int64) []Event {
 	for sl := range s.used {
 		if !s.used[sl] {
 			continue
@@ -617,9 +655,114 @@ func (s *Service) Drain(events []Event) []Event {
 			events = append(events, Event{Session: s.ids[slot], Kind: EventFinished, Peak: -1})
 			s.stats.Finishes++
 			s.close(slot)
+		} else {
+			s.trim(slot)
 		}
 	}
 	return events
+}
+
+// drainBatched advances the live sessions' pipeline stages as batch
+// rounds over one shared compiled plan, then feeds each session's
+// filtered/integrated outputs through its own incremental detector
+// sample by sample (event collection and latency attribution are
+// per-sample either way). Slots drain in ascending order exactly like
+// the scalar path, so the event sequence is identical.
+func (s *Service) drainBatched(events []Event, now int64) []Event {
+	if s.batch == nil {
+		p, err := pantompkins.New(s.cfg.Pipeline)
+		if err != nil {
+			// Cannot fail: New validated the same configuration.
+			panic(err)
+		}
+		s.batch = pantompkins.NewPipelineBatch(p)
+	}
+	// Gather the round set: live slots, their quanta, and contiguous
+	// views of their ring spans (spans that wrap copy into bbuf, which
+	// is pre-sized so the block views stay valid across appends).
+	s.bslots = s.bslots[:0]
+	s.bns = s.bns[:0]
+	wrapped := 0
+	for sl := range s.used {
+		if !s.used[sl] {
+			continue
+		}
+		slot := int32(sl)
+		n := int(s.counts[slot])
+		if q := s.cfg.Quantum; q > 0 && n > q {
+			n = q
+		}
+		s.bslots = append(s.bslots, slot)
+		s.bns = append(s.bns, int32(n))
+		if int(s.heads[slot])+n > s.bufN {
+			wrapped += n
+		}
+	}
+	if cap(s.bbuf) < wrapped {
+		s.bbuf = make([]int16, wrapped)
+	}
+	bbuf := s.bbuf[:0]
+	s.bpipes = s.bpipes[:0]
+	s.bblocks = s.bblocks[:0]
+	for i, slot := range s.bslots {
+		n := int(s.bns[i])
+		base := int(slot) * s.bufN
+		head := int(s.heads[slot])
+		var block []int16
+		if head+n <= s.bufN {
+			block = s.ring[base+head : base+head+n]
+		} else {
+			off := len(bbuf)
+			bbuf = append(bbuf, s.ring[base+head:base+s.bufN]...)
+			bbuf = append(bbuf, s.ring[base:base+head+n-s.bufN]...)
+			block = bbuf[off:]
+		}
+		s.bpipes = append(s.bpipes, s.streams[slot].Pipeline())
+		s.bblocks = append(s.bblocks, block)
+	}
+	filt, integ := s.batch.Run(s.bpipes, s.bblocks)
+	for i, slot := range s.bslots {
+		n := int(s.bns[i])
+		st := s.streams[slot]
+		sd := st.Detector()
+		det := sd.Detection()
+		base := int(slot) * s.bufN
+		head := int(s.heads[slot])
+		for k := 0; k < n; k++ {
+			sd.Push(filt[i][k], integ[i][k])
+			if len(det.Events) > int(s.emEvents[slot]) {
+				var lat int64
+				if s.cfg.TrackLatency {
+					lat = now - s.ts[base+(head+k)%s.bufN]
+				}
+				events = s.collect(slot, det, lat, events)
+			}
+		}
+		s.heads[slot] = int32((head + n) % s.bufN)
+		s.counts[slot] -= int32(n)
+		if s.ended[slot] && s.counts[slot] == 0 {
+			fin := st.Finish()
+			events = s.collect(slot, fin, 0, events)
+			events = append(events, Event{Session: s.ids[slot], Kind: EventFinished, Peak: -1})
+			s.stats.Finishes++
+			s.close(slot)
+		} else {
+			s.trim(slot)
+		}
+	}
+	return events
+}
+
+// trim discards a live slot's already-emitted decision prefix (the
+// detector only appends — see StreamDetector.Discard), so a session
+// streaming indefinitely holds a bounded trace instead of an
+// ever-growing one.
+func (s *Service) trim(slot int32) {
+	if e := int(s.emEvents[slot]); e > 0 {
+		s.streams[slot].Detector().Discard(e, int(s.emPeaks[slot]))
+		s.emEvents[slot] = 0
+		s.emPeaks[slot] = 0
+	}
 }
 
 // collect emits the detector events produced since the last collection.
