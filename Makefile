@@ -4,26 +4,27 @@
 # force-disabled (the bit-serial oracle path, including the scalar
 # activity simulator), benchmark smoke passes in both modes, focused
 # -race passes over the two global caches' concurrent cold builds, the
-# multi-patient streaming service, the sharded gateway and the
-# batch-vs-scalar equivalence suites, a fuzz smoke
-# over the wire-frame parser, and a benchdiff smoke run over the
-# checked-in snapshot.
+# multi-patient streaming service, the sharded gateway, the real-socket
+# transport (loopback TCP+UDP churn) and the batch-vs-scalar equivalence
+# suites, a fuzz smoke over the wire-frame and socket-message parsers, a
+# fixed-seed chaos run of the socket transport harness, and a benchdiff
+# smoke run over the checked-in snapshot.
 
 GO ?= go
 
 # Benchmarks captured by `make bench-json` into BENCH_N.json snapshots.
-BENCH_JSON_PATTERN = KernelVsReference|PipelinePush|DSEWorkers|EvaluatorShards|Fig11ExplorationTime|Table2PreprocessingGrid|EnergyCharacterization|Activity|Serve|Gateway|BatchChain
+BENCH_JSON_PATTERN = KernelVsReference|PipelinePush|DSEWorkers|EvaluatorShards|Fig11ExplorationTime|Table2PreprocessingGrid|EnergyCharacterization|Activity|Serve|Gateway|Transport|BatchChain
 # Packages the bench-json pattern runs over.
 BENCH_JSON_PKGS = . ./internal/arith/kernel ./internal/netlist
 # Current snapshot file; bump per PR so the trajectory stays diffable.
-BENCH_SNAPSHOT = BENCH_8.json
+BENCH_SNAPSHOT = BENCH_9.json
 # Previous snapshot `make bench-diff` gates against.
-BENCH_BASELINE = BENCH_7.json
+BENCH_BASELINE = BENCH_8.json
 # Benchmarks that must exist in the current snapshot (catches a pattern
 # or harness regression silently dropping the new energy benchmarks).
-BENCH_REQUIRE = EnergyCharacterization/cold|Table2PreprocessingGrid/scratch|Activity/lanes|Serve/sessions|Serve/sessions-scalar|Serve/latency|Gateway/shards=1|Gateway/shards=4|BatchChain/ama5-k16/batch64|BatchChain/ama5-k16/scalar
+BENCH_REQUIRE = EnergyCharacterization/cold|Table2PreprocessingGrid/scratch|Activity/lanes|Serve/sessions|Serve/sessions-scalar|Serve/latency|Gateway/shards=1|Gateway/shards=4|Transport/inproc|Transport/tcp|Transport/udp|BatchChain/ama5-k16/batch64|BatchChain/ama5-k16/scalar
 
-.PHONY: all build vet test race race-arith race-energy race-serve race-gateway race-batch fuzz-smoke test-reference bench bench-reference bench-json bench-diff bench-diff-smoke ci
+.PHONY: all build vet test race race-arith race-energy race-serve race-gateway race-net race-batch fuzz-smoke net-smoke test-reference bench bench-reference bench-json bench-diff bench-diff-smoke ci
 
 all: build
 
@@ -64,6 +65,21 @@ race-serve:
 race-gateway:
 	$(GO) test -race -count=1 -run 'Gateway|Transport|Fault|Gap|SplitFrames' ./internal/serve
 
+# The socket transport under -race: loopback TCP+UDP connection churn —
+# reconnect chaos, NACK settlement, idle reaping, overload shedding,
+# panic isolation and graceful drain — plus the experiments-level
+# identity gate and chaos sweep over live sockets.
+race-net:
+	$(GO) test -race -count=1 -run 'Net|Wire|SeqWrap' ./internal/serve
+	$(GO) test -race -count=1 -run 'TransportResilience' ./internal/experiments
+
+# Fixed-seed chaos smoke of the socket harness through the CLI: identity
+# gate on both networks plus the loss x policy sweep with disconnects
+# and partial writes over a real loopback socket.
+net-smoke:
+	$(GO) run ./cmd/xbiosip -samples 6000 -seed 3 transport > /dev/null
+	$(GO) run ./cmd/xbiosip -samples 6000 -net udp -sessions 4 serve > /dev/null
+
 # The batch-evaluation equivalence suites across every layer that grew a
 # batched path — kernel BatchChain, dsp block hooks, PipelineBatch, the
 # batched serve drain and the netlist stream simulator — under -race,
@@ -71,10 +87,12 @@ race-gateway:
 race-batch:
 	$(GO) test -race -count=1 -run 'Batch|Streams|Discard' ./internal/arith/kernel ./internal/dsp ./internal/pantompkins ./internal/serve ./internal/netlist
 
-# Fuzz smoke: a few seconds of native fuzzing over the wire-frame parser
-# and the ingest path (never panic, never corrupt the session pool).
+# Fuzz smoke: a few seconds of native fuzzing over the wire-frame
+# parser, the socket-message decoder and the ingest path (never panic,
+# never corrupt the session pool).
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzParseFrame -fuzztime=5s -run '^$$' ./internal/serve
+	$(GO) test -fuzz=FuzzParseWire -fuzztime=5s -run '^$$' ./internal/serve
 	$(GO) test -fuzz=FuzzIngest -fuzztime=5s -run '^$$' ./internal/serve
 
 # The kernel equivalence tests and the packages threaded through the
@@ -119,4 +137,4 @@ bench-diff:
 bench-diff-smoke:
 	$(GO) run ./cmd/benchdiff -threshold 0.15 -bytes-threshold 0.15 -allocs-threshold 0.15 -require '$(BENCH_REQUIRE)' $(BENCH_SNAPSHOT) $(BENCH_SNAPSHOT) > /dev/null
 
-ci: build vet race race-arith race-energy race-serve race-gateway race-batch fuzz-smoke test-reference bench bench-reference bench-diff-smoke
+ci: build vet race race-arith race-energy race-serve race-gateway race-net race-batch fuzz-smoke net-smoke test-reference bench bench-reference bench-diff-smoke

@@ -546,6 +546,97 @@ func BenchmarkServe(b *testing.B) {
 	})
 }
 
+// BenchmarkTransport measures the full streaming path — framing, link,
+// ingest, drain, events — once per transport: the in-process loop
+// (serve.Run) against real loopback TCP and UDP sockets (serve.Listen +
+// serve.RunNet, length-delimited frames with lockstep drain-sync). One
+// benchmark iteration is one complete 32-session run over a 2-second
+// record, including the dial; the inproc/tcp/udp sessions-per-core gap
+// is the price of the wire.
+func BenchmarkTransport(b *testing.B) {
+	gen := ecg.DefaultConfig()
+	gen.FS = 360
+	gen.Seed = 11
+	rec, err := gen.Generate("transport-360", 2*360)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var b9 pantompkins.Config
+	for i, st := range pantompkins.Stages {
+		k := []int{10, 12, 2, 8, 16}[i]
+		b9.Stage[st] = dsp.ArithConfig{LSBs: k, Add: approx.ApproxAdd5, Mul: approx.AppMultV1}
+	}
+
+	const sessions = 32
+	sources := make([]serve.Source, sessions)
+	for i := range sources {
+		sources[i] = serve.Source{Session: uint32(i + 1), Samples: rec.Samples}
+	}
+	cfg := serve.Config{FS: 360, Pipeline: b9, MaxSessions: sessions}
+
+	report := func(b *testing.B) {
+		total := float64(b.N) * float64(sessions) * float64(len(rec.Samples))
+		if sec := b.Elapsed().Seconds(); sec > 0 {
+			b.ReportMetric(total/sec/360, "sessions/core")
+			b.ReportMetric(1e9*sec/total, "ns/sample")
+		}
+	}
+
+	b.Run("inproc", func(b *testing.B) {
+		svc, err := serve.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		run := func() {
+			if _, err := serve.Run(svc, serve.TransportConfig{FrameSamples: 32}, sources, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+		run() // warm: build every session's pipeline off the clock
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			run()
+		}
+		b.StopTimer()
+		report(b)
+	})
+
+	for _, network := range []string{"tcp", "udp"} {
+		b.Run(network, func(b *testing.B) {
+			svc, err := serve.New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ln, err := serve.Listen(serve.ListenConfig{Network: network}, svc)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer ln.Close()
+			run := func() {
+				st, err := serve.RunNet(serve.NetConfig{
+					Network: network, Addr: ln.Addr().String(),
+					FrameSamples: 32, Seed: 11,
+				}, sources)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if st.Shed != 0 {
+					b.Fatalf("%d frames shed on a loopback run", st.Shed)
+				}
+			}
+			run()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				run()
+			}
+			b.StopTimer()
+			report(b)
+		})
+	}
+}
+
 // BenchmarkGateway measures the sharded front door over the same workload
 // as BenchmarkServe/sessions: 4096 sessions hashed across N Service
 // shards, one BLE frame per session per iteration, every shard drained on

@@ -6,7 +6,8 @@
 //	xbiosip [flags] <experiment>
 //
 // Experiments: table1, table2, fig1, fig2, fig8, fig10, fig11, fig12,
-// fig13, ablation, noise, stream, serve, delivery, dse, synth, all.
+// fig13, ablation, noise, stream, serve, delivery, transport, dse,
+// synth, all.
 //
 // Flags -records and -samples control the synthetic NSRDB-like evaluation
 // set (the paper's unit is one 20,000-sample recording). -workers sets the
@@ -44,6 +45,8 @@ func main() {
 	seed := flag.Uint64("seed", 1, "fault-injection seed; serve/delivery runs are reproducible from it")
 	policy := flag.String("policy", "hold", "gap-concealment policy for serve under faults (drop|hold|zero|restart)")
 	noBatch := flag.Bool("nobatch", false, "drain serve sessions one sample at a time (scalar oracle) instead of lane-packed batch rounds")
+	netw := flag.String("net", "", "run serve/transport over a real socket: tcp or udp (empty = in-process transport)")
+	addr := flag.String("addr", "", "listen address for -net (default loopback with an ephemeral port)")
 	verbose := flag.Bool("v", false, "report kernel working-set statistics (per-design table footprint, global table cache)")
 	flag.Usage = usage
 	flag.Parse()
@@ -56,9 +59,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "xbiosip:", err)
 		os.Exit(2)
 	}
+	if *netw != "" && *netw != "tcp" && *netw != "udp" {
+		fmt.Fprintf(os.Stderr, "xbiosip: -net %q: want tcp or udp\n", *netw)
+		os.Exit(2)
+	}
 	if err := run(flag.Arg(0), *records, *samples, *psnr, *accuracy, *workers, *shards, *verbose, experiments.ServeOpts{
 		Sessions: *sessions, Shards: *gwShards, Loss: *loss, Burst: *burst, Seed: *seed, Policy: pol,
-		NoBatch: *noBatch,
+		NoBatch: *noBatch, Net: *netw, Addr: *addr,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "xbiosip:", err)
 		os.Exit(1)
@@ -123,6 +130,10 @@ experiments:
            -loss/-burst/-seed inject reproducible delivery faults
   delivery sweep packet loss against recovered detection for every
            gap-concealment policy (drop/hold/zero/restart)
+  transport gate the gateway over real loopback sockets (-net tcp|udp,
+           -addr): fault-free event bit-identity vs the in-process
+           transport, then the loss x policy sweep with chaos
+           disconnects and partial writes on the live socket
   dse      run the full two-gate XBioSiP methodology
   synth    synthesis reports of the five accurate stage netlists
   all      everything above
@@ -263,11 +274,30 @@ func run(what string, records, samples int, psnr, accuracy float64, workers, sha
 		}
 		fmt.Print(experiments.FormatDeliveryResilience(rows), "\n")
 	}
+	if all || what == "transport" {
+		b9 := experiments.Fig12Configs[9]
+		if b9.Name != "B9" {
+			return fmt.Errorf("config table changed: %s", b9.Name)
+		}
+		// -loss caps the sweep when set; the default sweep otherwise.
+		var losses []float64
+		if l := serveOpts.Loss; l > 0 {
+			losses = []float64{0, l / 2, l}
+		}
+		r, err := s.TransportResilience(s.Config(b9.LSBs), experiments.TransportOpts{
+			Network: serveOpts.Net, Addr: serveOpts.Addr,
+			Losses: losses, Seed: serveOpts.Seed,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatTransportResilience(r), "\n")
+	}
 	if all || what == "dse" {
 		return runMethodology(s, psnr, accuracy, verbose)
 	}
 	switch what {
-	case "all", "fig2", "fig8", "fig10", "table2", "fig11", "fig12", "fig13", "ablation", "noise", "stream", "serve", "delivery", "dse":
+	case "all", "fig2", "fig8", "fig10", "table2", "fig11", "fig12", "fig13", "ablation", "noise", "stream", "serve", "delivery", "transport", "dse":
 		return nil
 	}
 	return fmt.Errorf("unknown experiment %q (run without arguments for usage)", what)

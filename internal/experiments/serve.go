@@ -31,6 +31,12 @@ type ServeOpts struct {
 	// shard processes its sessions one sample at a time through the
 	// scalar oracle path instead of lane-packed batch rounds.
 	NoBatch bool
+	// Net switches the scenario onto a real socket: "tcp" or "udp" runs
+	// the gateway behind serve.Listen on Addr (default loopback,
+	// ephemeral port) and streams through serve.RunNet instead of the
+	// in-process transport loop. Empty keeps the in-process transport.
+	Net  string
+	Addr string
 }
 
 // ServeRow aggregates the sessions of one record in the multi-patient
@@ -148,21 +154,43 @@ func (s *Setup) Serve(cfg pantompkins.Config, opts ServeOpts) (*ServeResult, err
 
 	peaks := make([][]int, sessions)
 	finished := make([]bool, sessions)
-	start := time.Now()
-	tst, err := serve.Run(gw, serve.TransportConfig{FrameSamples: 32}, sources,
-		func(events []serve.Event) {
-			for _, ev := range events {
-				sess := int(ev.Session) - 1
-				switch ev.Kind {
-				case serve.EventBeat:
-					peaks[sess] = append(peaks[sess], ev.Peak)
-				case serve.EventFinished:
-					finished[sess] = true
-				}
+	onEvents := func(events []serve.Event) {
+		for _, ev := range events {
+			sess := int(ev.Session) - 1
+			switch ev.Kind {
+			case serve.EventBeat:
+				peaks[sess] = append(peaks[sess], ev.Peak)
+			case serve.EventFinished:
+				finished[sess] = true
 			}
-		})
-	if err != nil {
-		return nil, err
+		}
+	}
+	start := time.Now()
+	var tst serve.TransportStats
+	if opts.Net != "" {
+		// Socket mode: same workload over a live listener. Fault-free the
+		// lockstep client reproduces the in-process drain schedule, so the
+		// bit-identity gate below still applies unchanged.
+		ln, err := serve.Listen(serve.ListenConfig{
+			Network: opts.Net, Addr: opts.Addr, OnEvents: onEvents,
+		}, gw)
+		if err != nil {
+			return nil, err
+		}
+		nst, err := serve.RunNet(serve.NetConfig{
+			Network: opts.Net, Addr: ln.Addr().String(),
+			FrameSamples: 32, Seed: opts.Seed,
+		}, sources)
+		ln.Close()
+		if err != nil {
+			return nil, err
+		}
+		tst = nst.TransportStats
+	} else {
+		tst, err = serve.Run(gw, serve.TransportConfig{FrameSamples: 32}, sources, onEvents)
+		if err != nil {
+			return nil, err
+		}
 	}
 	elapsed := time.Since(start)
 
@@ -241,6 +269,9 @@ func FormatServe(cfg pantompkins.Config, r *ServeResult) string {
 	}
 	fmt.Fprintf(&sb, "Serve workload: %v, %d-shard gateway, framed ingest, %s, live per-session detection\n",
 		cfg, r.Opts.Shards, drain)
+	if r.Opts.Net != "" {
+		fmt.Fprintf(&sb, "transport: real %s loopback socket (length-delimited frames, NACK-driven backoff)\n", r.Opts.Net)
+	}
 	if faulty {
 		fmt.Fprintf(&sb, "faulty delivery: loss %.2f, burst %.2f, policy %v, seed %d\n",
 			r.Opts.Loss, r.Opts.Burst, r.Opts.Policy, r.Opts.Seed)

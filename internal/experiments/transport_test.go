@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/xbiosip/xbiosip/internal/pantompkins"
+	"github.com/xbiosip/xbiosip/internal/serve"
+)
+
+// TestTransportResilience: the identity gate holds for TCP and UDP at
+// shard counts {1, 4}, the chaos sweep recovers everything at zero
+// loss despite injected disconnects, and GapHold clears the 90%
+// recovery bar under 5% loss plus transport chaos.
+func TestTransportResilience(t *testing.T) {
+	s := testSetup(t)
+	cfg := pantompkins.AccurateConfig()
+	r, err := s.TransportResilience(cfg, TransportOpts{
+		Losses: []float64{0, 0.05}, Disconnect: 0.02, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Identity) != 4 {
+		t.Fatalf("%d identity verdicts, want tcp/udp × shards {1,4}", len(r.Identity))
+	}
+	seen := map[string]bool{}
+	for _, id := range r.Identity {
+		if id.Events == 0 {
+			t.Fatalf("identity gate %s shards=%d compared zero events", id.Network, id.Shards)
+		}
+		seen[id.Network] = true
+	}
+	if !seen["tcp"] || !seen["udp"] {
+		t.Fatalf("identity gate missing a network: %+v", r.Identity)
+	}
+	if len(r.Rows) != 2*len(DeliveryPolicies) {
+		t.Fatalf("%d sweep rows, want %d", len(r.Rows), 2*len(DeliveryPolicies))
+	}
+	at := func(loss float64, p serve.GapPolicy) TransportRow {
+		for _, row := range r.Rows {
+			if row.Loss == loss && row.Policy == p {
+				return row
+			}
+		}
+		t.Fatalf("row (%v,%v) missing", loss, p)
+		return TransportRow{}
+	}
+	var reconnects uint64
+	for _, p := range DeliveryPolicies {
+		if row := at(0, p); row.Recovered != 1.0 {
+			t.Fatalf("loss 0 policy %v recovered %v over chaos transport, want 1.0", p, row.Recovered)
+		}
+		reconnects += at(0, p).Reconnects + at(0.05, p).Reconnects
+	}
+	if reconnects == 0 {
+		t.Fatal("chaos sweep with disconnect 0.02 never reconnected")
+	}
+	if hold := at(0.05, serve.GapHold); hold.Recovered < 0.9 {
+		t.Fatalf("GapHold recovered %v under 5%% loss + chaos, want >= 0.9", hold.Recovered)
+	}
+	out := FormatTransportResilience(r)
+	for _, want := range []string{"identity:", "chaos sweep", "hold", "reconnects"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendering missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestTransportResilienceReproducible: the whole scenario — fault
+// links, disconnect draws, backoff jitter — is a pure function of the
+// seed, down to the wire counters.
+func TestTransportResilienceReproducible(t *testing.T) {
+	s := testSetup(t)
+	cfg := pantompkins.AccurateConfig()
+	opts := TransportOpts{
+		Network: "tcp", Losses: []float64{0.05}, Disconnect: 0.02, Seed: 13,
+	}
+	a, err := s.TransportResilience(cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.TransportResilience(cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Rows, b.Rows) {
+		t.Fatalf("same seed produced different sweeps:\n%+v\n%+v", a.Rows, b.Rows)
+	}
+	if len(a.Identity) != 2 {
+		t.Fatalf("pinned network should gate shards {1,4} only: %+v", a.Identity)
+	}
+}

@@ -12,6 +12,13 @@
 //     with a deterministic merged event stream.
 //   - FaultLink + Run — the client/radio side: framing, fault injection
 //     and the retry-with-backoff delivery loop, all wall-clock-free.
+//   - Listener + RunNet — the same two roles over real TCP/UDP sockets:
+//     Listener accepts wire-framed connections into any Sink, RunNet is
+//     Run's workload driven through a Dial-ed connection. FaultLink is
+//     the in-process test double of this wire: fault-free, the socket
+//     path must emit the bit-identical event stream (the
+//     TransportResilience identity gate), so everything proven about
+//     links, gaps and policies transfers to the real transport.
 //
 // # Session pool
 //
@@ -29,9 +36,26 @@
 // 8-byte header — session id, wrapping sequence number, sample count,
 // flags — followed by up to MaxFrameSamples little-endian int16 samples,
 // packed back-to-back per ingest buffer. SplitFrames chunks an arbitrary
-// sample slice into such frames. Unknown sessions connect implicitly;
-// FlagStart restarts a live session in place (reconnect); FlagEnd
-// finishes it once its buffer drains.
+// sample slice into such frames (SplitFramesN with a validated per-frame
+// size). Unknown sessions connect implicitly; FlagStart restarts a live
+// session in place (reconnect); FlagEnd finishes it once its buffer
+// drains.
+//
+// On a socket, each frame travels inside a wire envelope (see
+// netwire.go): a little-endian uint16 length, a message type byte, and
+// the payload — the same encoding reassembled from a TCP byte stream or
+// taken one message per UDP datagram. Data frames flow client to server;
+// the server answers with drain acknowledgements and, when it cannot
+// accept a frame, a NACK naming the (session, seq) and a reason:
+// backpressure (the session ring is full — drain and resend), shed (the
+// listener's connection or ingest-rate limit fired), or closing (the
+// listener is draining for shutdown). The client contract mirrors Run's
+// in-process backpressure loop: hold the NACKed frame in a retransmit
+// buffer, back off exponentially with seeded jitter (NetConfig.
+// BackoffBase doubling up to BackoffMax), pump extra drain rounds for
+// backpressure, and resend — giving up after NetConfig.MaxRetries, at
+// which point the frame counts as shed and the session's gap policy
+// conceals it like any other loss.
 //
 // # Gap degradation
 //
@@ -115,4 +139,34 @@
 // FaultConfig.Seed. Run drives whole sessions through such links and a
 // Sink (Service or Gateway), measured in drain cycles rather than wall
 // clock, which is what makes the DeliveryResilience experiment exact.
+//
+// # Socket transport
+//
+// Listen puts any Sink behind a real listener. TCP connections carry
+// length-delimited wire messages with per-connection read/write
+// deadlines; sessions idle past ListenConfig.IdleTimeout are reaped (on
+// UDP, per-peer state ages out the same way). The listener sheds load at
+// two gates — a connection cap (MaxConns, rejected with a busy notice
+// the client absorbs with backoff-and-redial) and a token-bucket ingest
+// rate (MaxFrameRate, rejected per frame with a shed NACK) — and
+// isolates per-connection handler panics so one poisoned stream cannot
+// take the listener down. All sink access is serialized on one mutex, so
+// a Service behind a Listener needs no locking of its own, and drained
+// events reach ListenConfig.OnEvents in canonical order. Close is
+// idempotent and graceful: it stops accepting, synthesizes FlagEnd for
+// every session still tracked on the wire, drains the sink until quiet
+// (bounded by DrainTimeout), notifies connected clients, and waits for
+// every handler goroutine to exit — tests assert zero goroutine and
+// socket leaks afterwards.
+//
+// RunNet is the client: Run's exact framing and drain-cadence over a
+// dialed connection, in lockstep — one frame per source per round, then
+// a drain request the server answers with its buffered count — so under
+// fault-free delivery the server observes the identical ingest/drain
+// schedule as the in-process loop, which is what makes the socket and
+// FaultLink interchangeable as test doubles. NetConfig.Disconnect and
+// PartialWrites add seeded transport chaos (mid-write connection tears,
+// fragmented TCP writes) for the TransportResilience experiment; the
+// retransmit buffer plus the session acceptance bitmap absorb the
+// resulting duplicates.
 package serve

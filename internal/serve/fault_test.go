@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 
 	"github.com/xbiosip/xbiosip/internal/pantompkins"
@@ -65,6 +66,108 @@ func TestSplitFrames(t *testing.T) {
 	if hdr.count != 0 || hdr.flags != FlagEnd || next != 8 {
 		t.Fatalf("control frame: count=%d flags=%b next=%d", hdr.count, hdr.flags, next)
 	}
+}
+
+// TestSplitFramesN covers the explicit-size splitter: a frame size
+// outside (0, MaxFrameSamples] is rejected with ErrFrameSize leaving dst
+// and seq untouched, and a legal custom size chunks accordingly.
+func TestSplitFramesN(t *testing.T) {
+	samples := make([]int16, 100)
+	for i := range samples {
+		samples[i] = int16(i)
+	}
+	for _, bad := range []int{0, -1, MaxFrameSamples + 1, 1 << 20} {
+		dst := []byte{0xAA}
+		out, seq, err := SplitFramesN(dst, 1, 5, FlagStart, samples, bad)
+		if !errors.Is(err, ErrFrameSize) {
+			t.Fatalf("frameSamples=%d: err = %v, want ErrFrameSize", bad, err)
+		}
+		if len(out) != 1 || out[0] != 0xAA || seq != 5 {
+			t.Fatalf("frameSamples=%d: rejected call mutated dst/seq", bad)
+		}
+	}
+	buf, next, err := SplitFramesN(nil, 1, 0, FlagStart|FlagEnd, samples, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next != 3 {
+		t.Fatalf("next seq = %d, want 3", next)
+	}
+	counts := []int{40, 40, 20}
+	for i := 0; len(buf) > 0; i++ {
+		hdr, _, n, err := parseFrame(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hdr.count != counts[i] {
+			t.Fatalf("frame %d count = %d, want %d", i, hdr.count, counts[i])
+		}
+		buf = buf[n:]
+	}
+	// And zero samples still encode one control frame.
+	buf, next, err = SplitFramesN(nil, 2, 9, FlagEnd, nil, 16)
+	if err != nil || next != 10 {
+		t.Fatalf("control frame: next=%d err=%v", next, err)
+	}
+	if hdr, _, n, _ := parseFrame(buf); hdr.count != 0 || n != len(buf) {
+		t.Fatal("control frame misencoded")
+	}
+}
+
+// TestSeqWrapReconnect: sequence numbers crossing the uint16 wrap must
+// not read as gaps, and a mid-wrap FlagStart — a device rebooting and
+// re-keying its counter — restarts the session cleanly with detection
+// bit-identical to a fresh stream.
+func TestSeqWrapReconnect(t *testing.T) {
+	rec := record(t, 0, 2400)
+	s, err := New(Config{FS: rec.FS, MaxSessions: 2, BufferSamples: 4096, Conceal: GapHold})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stream 1: frames seq 65531..65535,0..4 — straight across the wrap.
+	const n = 60
+	seq := uint16(65531)
+	pos := 0
+	for i := 0; i < 10; i++ {
+		flags := uint8(0)
+		if i == 0 {
+			flags = FlagStart
+		}
+		sendFrame(t, s, 1, seq, flags, rec.Samples[pos:pos+n])
+		seq++
+		pos += n
+	}
+	s.Drain(nil)
+	if st := s.Stats(); st.GapFrames != 0 || st.LostFrames != 0 || st.Reordered != 0 {
+		t.Fatalf("wraparound read as faults: %+v", st)
+	}
+
+	// Reconnect mid-wrap: FlagStart at an unrelated sequence discards the
+	// old stream and starts fresh, crossing the wrap again.
+	post := rec.Samples[pos:]
+	buf, _ := SplitFrames(nil, 1, 65533, FlagStart|FlagEnd, post)
+	if _, err := s.Ingest(buf); err != nil {
+		t.Fatal(err)
+	}
+	traces := make(map[uint32]*sessionTrace)
+	var events []Event
+	for s.Buffered() > 0 {
+		events = s.Drain(events[:0])
+		collectTraces(traces, events)
+	}
+	collectTraces(traces, s.Drain(nil))
+	st := s.Stats()
+	if st.Reconnects != 1 {
+		t.Fatalf("Reconnects = %d, want 1", st.Reconnects)
+	}
+	if st.GapFrames != 0 || st.LostFrames != 0 {
+		t.Fatalf("post-reconnect wrap read as gaps: %+v", st)
+	}
+	tr := traces[1]
+	if tr == nil || !tr.finished {
+		t.Fatal("session did not finish after mid-wrap reconnect")
+	}
+	checkIdentical(t, 1, tr, refDetection(t, pantompkins.AccurateConfig(), rec.FS, post))
 }
 
 // linkTranscript pushes frames through a link and returns the delivered

@@ -43,6 +43,13 @@ var (
 	// ErrBackpressure reports a frame rejected because the session's
 	// bounded buffer cannot hold it; the caller should Drain and retry.
 	ErrBackpressure = errors.New("serve: session buffer full")
+	// ErrFrameSize reports a requested frame size outside
+	// (0, MaxFrameSamples] — zero/negative frames would loop forever and
+	// oversize frames cannot be encoded in a single packet.
+	ErrFrameSize = errors.New("serve: frame size outside (0, MaxFrameSamples]")
+	// ErrServerClosing reports a socket server that announced shutdown
+	// (wire bye) while a client run was still in flight.
+	ErrServerClosing = errors.New("serve: server draining for shutdown")
 )
 
 // AppendFrame appends the wire encoding of one frame to dst and returns
@@ -75,11 +82,24 @@ func AppendFrame(dst []byte, session uint32, seq uint16, flags uint8, samples []
 //
 //	buf, seq = serve.SplitFrames(buf[:0], id, seq, flags, chunk)
 func SplitFrames(dst []byte, session uint32, seq uint16, flags uint8, samples []int16) ([]byte, uint16) {
+	dst, seq, _ = SplitFramesN(dst, session, seq, flags, samples, MaxFrameSamples)
+	return dst, seq
+}
+
+// SplitFramesN is SplitFrames with an explicit frame size: samples are
+// split into frames of at most frameSamples each. A frameSamples outside
+// (0, MaxFrameSamples] is rejected with ErrFrameSize and dst is returned
+// unchanged — no caller discipline required for a size that would
+// otherwise loop forever (≤0) or panic the encoder (>MaxFrameSamples).
+func SplitFramesN(dst []byte, session uint32, seq uint16, flags uint8, samples []int16, frameSamples int) ([]byte, uint16, error) {
+	if frameSamples <= 0 || frameSamples > MaxFrameSamples {
+		return dst, seq, fmt.Errorf("serve: %d samples per frame: %w", frameSamples, ErrFrameSize)
+	}
 	first := true
 	for {
 		n := len(samples)
-		if n > MaxFrameSamples {
-			n = MaxFrameSamples
+		if n > frameSamples {
+			n = frameSamples
 		}
 		f := flags
 		if !first {
@@ -93,7 +113,7 @@ func SplitFrames(dst []byte, session uint32, seq uint16, flags uint8, samples []
 		samples = samples[n:]
 		first = false
 		if len(samples) == 0 {
-			return dst, seq
+			return dst, seq, nil
 		}
 	}
 }

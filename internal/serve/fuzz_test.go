@@ -46,6 +46,53 @@ func FuzzParseFrame(f *testing.F) {
 	})
 }
 
+// FuzzParseWire throws arbitrary bytes at the length-delimited socket
+// message decoder: it must never panic, report ErrTruncated only when
+// more bytes could complete the message, and whatever it accepts must be
+// internally consistent and re-encode to the exact input bytes.
+func FuzzParseWire(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(appendWire(nil, wireDrainReq, nil))
+	f.Add(appendWire(nil, wireData, AppendFrame(nil, 1, 2, FlagStart, []int16{5, -5})))
+	f.Add(appendNackMsg(nil, 9, 65535, nackShed))
+	f.Add(appendDrainedMsg(nil, 1<<20))
+	f.Add([]byte{0, 0, 1})        // zero length
+	f.Add([]byte{255, 255, 1, 2}) // oversize length
+	f.Fuzz(func(t *testing.T, b []byte) {
+		typ, payload, n, err := parseWire(b)
+		if err == ErrTruncated {
+			// Truncation must mean exactly that: appending bytes can
+			// complete the message, so the declared length (when visible)
+			// must itself be legal.
+			if len(b) >= 2 {
+				ln := int(b[0]) | int(b[1])<<8
+				if ln == 0 || ln > wireMax {
+					t.Fatalf("truncated verdict for illegal length %d", ln)
+				}
+			}
+			return
+		}
+		if err != nil {
+			if err != ErrWire {
+				t.Fatalf("parseWire error %v, want ErrWire", err)
+			}
+			return
+		}
+		if len(payload) > wireMax-1 || n != 2+1+len(payload) || n > len(b) {
+			t.Fatalf("inconsistent decode: payload=%d n=%d len=%d", len(payload), n, len(b))
+		}
+		enc := appendWire(nil, typ, payload)
+		if len(enc) != n {
+			t.Fatalf("re-encoded to %d bytes, parsed %d", len(enc), n)
+		}
+		for i := range enc {
+			if enc[i] != b[i] {
+				t.Fatalf("re-encode differs at byte %d", i)
+			}
+		}
+	})
+}
+
 // FuzzIngest feeds arbitrary byte streams to a small service and checks
 // it never panics and never corrupts its pool invariants — and that a
 // well-formed session still works afterwards.

@@ -50,12 +50,18 @@ type Gateway struct {
 	nextRank int32
 
 	// Drain workers, started lazily on the first multi-shard Drain.
-	start []chan struct{}
-	wg    sync.WaitGroup
-	outs  [][]Event
-	keys  []int32
-	once  sync.Once
-	done  chan struct{}
+	// mu serializes Drain against Close: Close is idempotent and safe to
+	// call from any goroutine at any time, and a Drain that loses the
+	// race falls back to draining the shards inline (the workers are
+	// gone once done is closed).
+	mu     sync.Mutex
+	closed bool
+	start  []chan struct{}
+	wg     sync.WaitGroup
+	outs   [][]Event
+	keys   []int32
+	once   sync.Once
+	done   chan struct{}
 }
 
 // NewGateway builds a gateway of cfg.Shards Service shards.
@@ -202,8 +208,13 @@ func (g *Gateway) release(session uint32) {
 // the gateway has more than one — and appends the canonical merge of
 // their event batches to events.
 func (g *Gateway) Drain(events []Event) []Event {
-	if len(g.shards) == 1 {
-		g.outs[0] = g.shards[0].Drain(g.outs[0][:0])
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if len(g.shards) == 1 || g.closed {
+		// Single shard, or the workers already shut down: drain inline.
+		for i, s := range g.shards {
+			g.outs[i] = s.Drain(g.outs[i][:0])
+		}
 	} else {
 		g.once.Do(g.startWorkers)
 		g.wg.Add(len(g.shards))
@@ -235,8 +246,17 @@ func (g *Gateway) startWorkers() {
 	}
 }
 
-// Close stops the drain workers. The gateway must not be used after.
+// Close stops the drain workers. It is idempotent and safe to call from
+// any goroutine, including concurrently with Ingest and Drain: a Drain
+// in flight finishes on the workers first, and any later Drain or Ingest
+// still works — the shards are drained inline once the workers are gone.
 func (g *Gateway) Close() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.closed {
+		return
+	}
+	g.closed = true
 	close(g.done)
 }
 

@@ -82,6 +82,66 @@ func TestGatewayBitIdentity(t *testing.T) {
 	}
 }
 
+// TestGatewayCloseIdempotent: Close must be callable any number of
+// times, from any goroutine, concurrently with Ingest and Drain — and a
+// gateway that lost its workers must still drain (inline) so buffered
+// sessions are never stranded. Run under -race.
+func TestGatewayCloseIdempotent(t *testing.T) {
+	rec := record(t, 0, 1200)
+	g, err := NewGateway(GatewayConfig{Shards: 4, Service: Config{FS: rec.FS, MaxSessions: 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf []byte
+	for _, id := range []uint32{1, 2, 3} {
+		buf, _ = SplitFrames(buf[:0], id, 0, FlagStart, rec.Samples[:128])
+		if _, err := g.Ingest(buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g.Drain(nil) // start the workers so Close has something to stop
+
+	// Close racing Close racing Drain: exactly one wins, none panic.
+	done := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			g.Close()
+		}()
+	}
+	go func() {
+		defer func() { done <- struct{}{} }()
+		g.Drain(nil)
+	}()
+	for i := 0; i < 5; i++ {
+		<-done
+	}
+	g.Close() // and once more for good measure
+
+	// The workers are gone, but the gateway still ingests and drains —
+	// finish the sessions through the inline path.
+	for _, id := range []uint32{1, 2, 3} {
+		buf = AppendFrame(buf[:0], id, 2, FlagEnd, nil)
+		if _, err := g.Ingest(buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var events []Event
+	for g.Buffered() > 0 {
+		events = g.Drain(events)
+	}
+	events = g.Drain(events)
+	finished := 0
+	for _, ev := range events {
+		if ev.Kind == EventFinished {
+			finished++
+		}
+	}
+	if finished != 3 {
+		t.Fatalf("%d sessions finished after Close, want 3", finished)
+	}
+}
+
 // TestGatewayHashSpread pins that the session hash actually distributes
 // consecutive ids across shards (no shard monopolises the pool).
 func TestGatewayHashSpread(t *testing.T) {

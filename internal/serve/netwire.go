@@ -1,0 +1,145 @@
+package serve
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// The socket transport speaks a tiny length-delimited message protocol on
+// top of the sample-frame encoding of frame.go. One message is
+//
+//	offset 0  uint16  length L of what follows (type byte + payload)
+//	offset 2  uint8   message type
+//	offset 3  ...     payload (L-1 bytes)
+//
+// On TCP, messages are packed back-to-back on the stream and the reader
+// reassembles across arbitrary segment boundaries; on UDP, every datagram
+// carries exactly one message (the redundant length prefix keeps the two
+// transports byte-compatible and lets one decoder serve both). L is
+// bounded by wireMax — the largest legal message is a data frame carrying
+// MaxFrameSamples samples — so a corrupt or foreign stream is detected at
+// the first envelope rather than consuming an absurd length.
+//
+// Message types and the NACK/backoff contract:
+//
+//   - wireData (client→server): payload is one encoded sample frame
+//     (AppendFrame encoding, exactly one frame). The server ingests it
+//     into its Sink. Delivery is optimistic — there is no per-frame ACK;
+//     a frame the server cannot take is answered with wireNack.
+//   - wireNack (server→client): payload names the rejected frame
+//     (session, seq) and a reason — nackBackpressure (the session's
+//     bounded buffer is full), nackShed (the listener's overload policy
+//     refused it), nackClosing (the listener is draining for shutdown).
+//     The client's contract: back off exponentially with jitter, pump the
+//     server with drain requests, and retransmit the named frame, up to
+//     its retry bound — after which the frame counts as lost on the wire
+//     and the gap-concealment policy downstream degrades the session
+//     gracefully, exactly like radio loss.
+//   - wireDrainReq (client→server): run one Sink.Drain now and reply with
+//     wireDrained. This is the lockstep pump that makes a socket run
+//     reproduce the in-process transport loop's drain schedule exactly
+//     (Listener can also self-pump on a timer; see
+//     ListenConfig.DrainInterval).
+//   - wireDrained (server→client): drain completed; payload is the
+//     samples still buffered across live sessions (uint32), which is what
+//     drives the client's quiesce loop at end of stream.
+//   - wireBye (either direction): the sender is done — a client finished
+//     its sources, or a server is draining for graceful shutdown.
+//   - wireBusy (server→client): the connection itself was shed at accept
+//     time (the listener is at MaxConns); retry later with backoff.
+const (
+	wireData     byte = 0x01
+	wireDrainReq byte = 0x02
+	wireBye      byte = 0x03
+	wireNack     byte = 0x10
+	wireDrained  byte = 0x11
+	wireBusy     byte = 0x12
+)
+
+// NACK reasons carried in the wireNack payload.
+const (
+	nackBackpressure byte = 1 // session buffer full: drain and retransmit
+	nackShed         byte = 2 // overload shed by the ingest-rate policy
+	nackClosing      byte = 3 // listener draining for shutdown
+)
+
+// wireMax bounds one message's length field: type byte plus the largest
+// payload, a data frame carrying MaxFrameSamples samples.
+const wireMax = 1 + FrameHeader + 2*MaxFrameSamples
+
+// ErrWire reports bytes that cannot be a wire message (zero or oversize
+// length, malformed payload): the stream is corrupt or foreign and must
+// be torn down, unlike ErrTruncated which only asks for more bytes.
+var ErrWire = errors.New("serve: malformed wire message")
+
+// appendWire appends one encoded message to dst.
+func appendWire(dst []byte, typ byte, payload []byte) []byte {
+	n := 1 + len(payload)
+	dst = append(dst, byte(n), byte(n>>8), typ)
+	return append(dst, payload...)
+}
+
+// parseWire decodes the message at the start of b, returning its type,
+// its payload (aliasing b) and the total encoded length. A buffer ending
+// mid-message is ErrTruncated (read more and retry); an impossible
+// length — zero, or beyond the largest legal message — is ErrWire (the
+// stream is corrupt; kill it).
+func parseWire(b []byte) (typ byte, payload []byte, n int, err error) {
+	if len(b) < 2 {
+		return 0, nil, 0, ErrTruncated
+	}
+	ln := int(binary.LittleEndian.Uint16(b))
+	if ln == 0 || ln > wireMax {
+		return 0, nil, 0, ErrWire
+	}
+	if len(b) < 2+ln {
+		return 0, nil, 0, ErrTruncated
+	}
+	return b[2], b[3 : 2+ln], 2 + ln, nil
+}
+
+// appendNackMsg appends a wireNack naming the rejected frame.
+func appendNackMsg(dst []byte, session uint32, seq uint16, reason byte) []byte {
+	var p [7]byte
+	binary.LittleEndian.PutUint32(p[0:], session)
+	binary.LittleEndian.PutUint16(p[4:], seq)
+	p[6] = reason
+	return appendWire(dst, wireNack, p[:])
+}
+
+// parseNackMsg decodes a wireNack payload.
+func parseNackMsg(p []byte) (session uint32, seq uint16, reason byte, err error) {
+	if len(p) != 7 {
+		return 0, 0, 0, ErrWire
+	}
+	return binary.LittleEndian.Uint32(p[0:]), binary.LittleEndian.Uint16(p[4:]), p[6], nil
+}
+
+// appendDrainedMsg appends a wireDrained carrying the buffered count.
+func appendDrainedMsg(dst []byte, buffered int) []byte {
+	var p [4]byte
+	binary.LittleEndian.PutUint32(p[:], uint32(buffered))
+	return appendWire(dst, wireDrained, p[:])
+}
+
+// parseDrainedMsg decodes a wireDrained payload.
+func parseDrainedMsg(p []byte) (int, error) {
+	if len(p) != 4 {
+		return 0, ErrWire
+	}
+	return int(binary.LittleEndian.Uint32(p)), nil
+}
+
+// splitmix64 advances a splitmix64 state and returns the next draw — the
+// same generator FaultLink uses, shared by the client's backoff jitter
+// and chaos injection so socket runs are reproducible from a seed.
+func splitmix64(s *uint64) uint64 {
+	*s += 0x9E3779B97F4A7C15
+	z := *s
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return z
+}

@@ -66,7 +66,7 @@ func Run(sink Sink, cfg TransportConfig, sources []Source, onEvents func([]Event
 		cfg.FrameSamples = 24
 	}
 	if cfg.FrameSamples > MaxFrameSamples {
-		return TransportStats{}, fmt.Errorf("serve: %d samples per frame exceed MaxFrameSamples", cfg.FrameSamples)
+		return TransportStats{}, fmt.Errorf("serve: %d samples per frame: %w", cfg.FrameSamples, ErrFrameSize)
 	}
 	if cfg.MaxRetries <= 0 {
 		cfg.MaxRetries = 8
