@@ -26,6 +26,7 @@ import (
 	"github.com/xbiosip/xbiosip/internal/experiments"
 	"github.com/xbiosip/xbiosip/internal/pantompkins"
 	"github.com/xbiosip/xbiosip/internal/serve"
+	"github.com/xbiosip/xbiosip/internal/store"
 )
 
 var (
@@ -171,6 +172,79 @@ func BenchmarkTable2PreprocessingGrid(b *testing.B) {
 			kernel.DropCaches()
 			energy.DropCaches()
 			run(b, s)
+		}
+	})
+}
+
+// BenchmarkStoreColdWarm measures what the persistent artifact store
+// buys a fresh process: fromzero is the everything-from-zero Table 2
+// cost (empty kernel and characterization caches, no store), warmstore
+// the same scratch start but with a pre-populated artifact store
+// attached, so tables and characterizations load from disk instead of
+// being rebuilt. The delta is the store's amortization of the
+// simulation-dominated cold start across processes.
+func BenchmarkStoreColdWarm(b *testing.B) {
+	run := func(b *testing.B, s *experiments.Setup) {
+		r, err := s.Table2(15)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = s.FormatTable2(r)
+	}
+	detach := func() {
+		kernel.AttachStore(nil)
+		energy.AttachStore(nil)
+		kernel.DropCaches()
+		energy.DropCaches()
+	}
+	b.Cleanup(detach)
+	b.Run("fromzero", func(b *testing.B) {
+		detach()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			s, err := experiments.NewSetup(1, 6000)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			kernel.DropCaches()
+			energy.DropCaches()
+			run(b, s)
+		}
+	})
+	b.Run("warmstore", func(b *testing.B) {
+		detach()
+		st, err := store.Open(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Populate the store once, outside the timed region.
+		s, err := experiments.NewSetup(1, 6000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		kernel.AttachStore(st)
+		energy.AttachStore(st)
+		run(b, s)
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			s, err := experiments.NewSetup(1, 6000)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			// DropCaches detaches the store (generation contract), so the
+			// warm-store regime re-attaches explicitly each iteration.
+			kernel.DropCaches()
+			energy.DropCaches()
+			kernel.AttachStore(st)
+			energy.AttachStore(st)
+			run(b, s)
+		}
+		b.StopTimer()
+		fst := st.Stats()
+		if fst.Hits == 0 {
+			b.Fatalf("warm-store regime never hit the store: %+v", fst)
 		}
 	})
 }

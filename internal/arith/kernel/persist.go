@@ -1,0 +1,336 @@
+package kernel
+
+// The kernel's expensive artifacts — full product tables, squaring
+// tables and wiring-chain projections — are pure functions of their
+// (spec, coeff, chain-parameter) keys, so they can outlive the process
+// in the content-addressed artifact store (package store). This file is
+// the binding: AttachStore opts the global plan/table cache into the
+// store, the Cached* builders consult it before building and publish
+// after, and DropCaches detaches it (see the generation contract below).
+//
+// Only the full-table tiers go to disk: the exact tier carries no table
+// and the decomposed tier's two 256-entry sub-product tables rebuild
+// faster than a disk read. Table contents are mode-independent (the
+// kernel/oracle equivalence guarantee), so store keys carry the spec
+// alone, exactly like the in-memory cache, and a blob written by an
+// oracle-mode process serves a kernel-mode one byte-identically.
+//
+// Degradation is total: a detached store, a store error, a corrupt blob
+// or an undecodable payload all demote silently to the in-memory build
+// path. The store can never fail a table build or change a table's
+// contents; the equivalence tests assert loaded tables are value- and
+// byte-identical to built ones.
+//
+// Generations: DropCaches means "forget everything and rebuild" — it is
+// what the cold benchmarks and the first-insert-wins race tests lean
+// on. A store binding that survived a drop would silently resurrect
+// dropped entries and turn honest cold paths warm, so DropCaches bumps
+// the cache generation AND detaches the store; callers that want the
+// warm-store regime after a drop re-attach explicitly. The regression
+// test for the cold-benchmark DropCaches loop lives in persist_test.go.
+
+import (
+	"sync"
+
+	"github.com/xbiosip/xbiosip/internal/arith"
+	"github.com/xbiosip/xbiosip/internal/store"
+)
+
+var storeBinding struct {
+	sync.Mutex
+	st  *store.Store
+	gen uint64
+}
+
+// AttachStore binds the persistent artifact store to the kernel's
+// global plan/table cache: subsequent cold table builds consult it
+// first and publish into it. Attaching nil detaches. The binding does
+// not survive DropCaches (see the generation contract in this file's
+// doc comment).
+func AttachStore(s *store.Store) {
+	storeBinding.Lock()
+	storeBinding.st = s
+	storeBinding.Unlock()
+}
+
+// AttachedStore returns the store currently bound to the kernel cache,
+// or nil.
+func AttachedStore() *store.Store {
+	storeBinding.Lock()
+	defer storeBinding.Unlock()
+	return storeBinding.st
+}
+
+// Generation returns the kernel cache generation: the number of
+// DropCaches calls so far. A store binding belongs to the generation it
+// was attached under and dies with it.
+func Generation() uint64 {
+	storeBinding.Lock()
+	defer storeBinding.Unlock()
+	return storeBinding.gen
+}
+
+// dropStoreBinding detaches the store and bumps the generation; called
+// by DropCaches before the maps are emptied.
+func dropStoreBinding() {
+	storeBinding.Lock()
+	storeBinding.st = nil
+	storeBinding.gen++
+	storeBinding.Unlock()
+}
+
+// specKey serializes the multiplier spec fields every kernel store key
+// starts with.
+func specKey(w *store.Writer, spec arith.Multiplier) {
+	w.U32(uint32(spec.Width))
+	w.U32(uint32(spec.ApproxLSBs))
+	w.U8(uint8(spec.Mult))
+	w.U8(uint8(spec.Add))
+}
+
+func constMulStoreKey(spec arith.Multiplier, c int64) store.Key {
+	var w store.Writer
+	specKey(&w, spec)
+	w.I64(c)
+	return store.NewKey(store.KindConstMul, w.Bytes())
+}
+
+func squareStoreKey(spec arith.Multiplier) store.Key {
+	var w store.Writer
+	specKey(&w, spec)
+	return store.NewKey(store.KindSquare, w.Bytes())
+}
+
+func projStoreKey(k projKey) store.Key {
+	var w store.Writer
+	specKey(&w, k.spec)
+	w.I64(k.coeff)
+	w.U32(uint32(k.w))
+	w.U32(uint32(k.k))
+	var flags uint8
+	if k.neg {
+		flags |= 1
+	}
+	if k.round {
+		flags |= 2
+	}
+	w.U8(flags)
+	return store.NewKey(store.KindProj, w.Bytes())
+}
+
+// Payload tier tags. Payloads are a tier byte, a count, and the raw
+// little-endian entries; decoders validate the count against both the
+// remaining bytes and the spec-implied table size, so a corrupt or
+// cross-wired payload can never install a mis-sized table.
+const (
+	tier32 = 0 // int32 / uint32 entries
+	tier64 = 1 // int64 entries
+	tier16 = 2 // uint16 entries (projections)
+)
+
+func encodeConstMulPayload(t *ConstMulTable) []byte {
+	var w store.Writer
+	if t.tab32 != nil {
+		w.U8(tier32)
+		w.U32(uint32(len(t.tab32)))
+		for _, v := range t.tab32 {
+			w.U32(uint32(v))
+		}
+	} else {
+		w.U8(tier64)
+		w.U32(uint32(len(t.tab64)))
+		for _, v := range t.tab64 {
+			w.I64(v)
+		}
+	}
+	return w.Bytes()
+}
+
+// decodeFullTable decodes a tier32/tier64 payload into exactly want
+// entries.
+func decodeFullTable(payload []byte, want int) (tab32 []int32, tab64 []int64, err error) {
+	r := store.NewReader(payload)
+	switch tier := r.U8(); tier {
+	case tier32:
+		n := r.Count(4)
+		if r.Err() != nil || n != want {
+			return nil, nil, store.ErrMalformed
+		}
+		tab32 = make([]int32, n)
+		for i := range tab32 {
+			tab32[i] = int32(r.U32())
+		}
+	case tier64:
+		n := r.Count(8)
+		if r.Err() != nil || n != want {
+			return nil, nil, store.ErrMalformed
+		}
+		tab64 = make([]int64, n)
+		for i := range tab64 {
+			tab64[i] = r.I64()
+		}
+	default:
+		return nil, nil, store.ErrMalformed
+	}
+	if err := r.Finish(); err != nil {
+		return nil, nil, err
+	}
+	return tab32, tab64, nil
+}
+
+// constMulPersistable reports whether the plan's table tier is worth a
+// disk round-trip (the full-table tiers; see the file doc comment).
+func constMulPersistable(m *Multiplier) bool { return !m.exact && !m.decompExact() }
+
+// loadOrBuildConstMul is the store-aware cold path of
+// CachedConstMulTable: consult the store for the full-table tiers,
+// build and publish on miss, and fall back to a plain build whenever
+// the store cannot help.
+func loadOrBuildConstMul(st *store.Store, spec arith.Multiplier, c int64) (*ConstMulTable, error) {
+	if st == nil {
+		return NewConstMulTable(spec, c)
+	}
+	m, err := CachedMultiplier(spec)
+	if err != nil {
+		return nil, err
+	}
+	if !constMulPersistable(m) {
+		return NewConstMulTable(spec, c)
+	}
+	key := constMulStoreKey(spec, c)
+	if payload, ok := st.Get(key); ok {
+		tab32, tab64, derr := decodeFullTable(payload, 1<<spec.Width)
+		if derr == nil {
+			t := &ConstMulTable{spec: spec, opMask: m.opMask, coeff: c, tab32: tab32, tab64: tab64}
+			t.fn = fullTableFunc(t.tab32, t.tab64, m.opMask)
+			return t, nil
+		}
+		st.NoteDecodeError()
+	}
+	t, err := NewConstMulTable(spec, c)
+	if err != nil {
+		return nil, err
+	}
+	st.Put(key, encodeConstMulPayload(t))
+	return t, nil
+}
+
+func encodeSquarePayload(t *SquareTable) []byte {
+	var w store.Writer
+	if t.tab32 != nil {
+		w.U8(tier32)
+		w.U32(uint32(len(t.tab32)))
+		for _, v := range t.tab32 {
+			w.U32(uint32(v))
+		}
+	} else {
+		w.U8(tier64)
+		w.U32(uint32(len(t.tab64)))
+		for _, v := range t.tab64 {
+			w.I64(v)
+		}
+	}
+	return w.Bytes()
+}
+
+// loadOrBuildSquare mirrors loadOrBuildConstMul for squaring tables
+// (persistable whenever the plan is not the table-free exact tier).
+func loadOrBuildSquare(st *store.Store, spec arith.Multiplier) (*SquareTable, error) {
+	if st == nil {
+		return NewSquareTable(spec)
+	}
+	m, err := CachedMultiplier(spec)
+	if err != nil {
+		return nil, err
+	}
+	if m.exact {
+		return NewSquareTable(spec)
+	}
+	key := squareStoreKey(spec)
+	if payload, ok := st.Get(key); ok {
+		tab32, tab64, derr := decodeFullTable(payload, 1<<spec.Width)
+		if derr == nil {
+			t := &SquareTable{opMask: m.opMask, tab32: tab32, tab64: tab64}
+			t.initFullTiers()
+			return t, nil
+		}
+		st.NoteDecodeError()
+	}
+	t, err := NewSquareTable(spec)
+	if err != nil {
+		return nil, err
+	}
+	st.Put(key, encodeSquarePayload(t))
+	return t, nil
+}
+
+func encodeProjPayload(p ProjTable) []byte {
+	var w store.Writer
+	if p.u16 != nil {
+		w.U8(tier16)
+		w.U32(uint32(len(p.u16)))
+		for _, v := range p.u16 {
+			w.U32(uint32(v))
+		}
+	} else {
+		w.U8(tier32)
+		w.U32(uint32(len(p.u32)))
+		for _, v := range p.u32 {
+			w.U32(uint32(v))
+		}
+	}
+	return w.Bytes()
+}
+
+func decodeProjPayload(payload []byte, want int) (ProjTable, error) {
+	r := store.NewReader(payload)
+	tier := r.U8()
+	n := r.Count(4)
+	if r.Err() != nil || n != want {
+		return ProjTable{}, store.ErrMalformed
+	}
+	var p ProjTable
+	switch tier {
+	case tier16:
+		u16 := make([]uint16, n)
+		for i := range u16 {
+			v := r.U32()
+			if v > 0xffff {
+				return ProjTable{}, store.ErrMalformed
+			}
+			u16[i] = uint16(v)
+		}
+		p.u16 = u16
+	case tier32:
+		u32 := make([]uint32, n)
+		for i := range u32 {
+			u32[i] = r.U32()
+		}
+		p.u32 = u32
+	default:
+		return ProjTable{}, store.ErrMalformed
+	}
+	if err := r.Finish(); err != nil {
+		return ProjTable{}, err
+	}
+	return p, nil
+}
+
+// loadOrBuildProj mirrors loadOrBuildConstMul for wiring-chain
+// projections (always full-table sized, always persistable).
+func loadOrBuildProj(st *store.Store, m *Multiplier, key projKey) ProjTable {
+	if st == nil {
+		return buildChainProj(m.productFn(key.coeff), m.spec.Width, key.w, key.k, m.opMask, key.neg, key.round)
+	}
+	skey := projStoreKey(key)
+	if payload, ok := st.Get(skey); ok {
+		p, derr := decodeProjPayload(payload, 1<<key.spec.Width)
+		if derr == nil {
+			return p
+		}
+		st.NoteDecodeError()
+	}
+	p := buildChainProj(m.productFn(key.coeff), m.spec.Width, key.w, key.k, m.opMask, key.neg, key.round)
+	st.Put(skey, encodeProjPayload(p))
+	return p
+}

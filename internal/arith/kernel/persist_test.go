@@ -1,0 +1,325 @@
+package kernel
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/xbiosip/xbiosip/internal/approx"
+	"github.com/xbiosip/xbiosip/internal/arith"
+	"github.com/xbiosip/xbiosip/internal/store"
+)
+
+// detachStores guarantees a test leaves no store bound to the global
+// cache (DropCaches detaches, but be explicit about the cleanup).
+func detachStores(t *testing.T) {
+	t.Cleanup(func() {
+		AttachStore(nil)
+		DropCaches()
+	})
+}
+
+// TestStoreLoadedConstMulIdentical is the bit-identity contract for
+// persisted constant-multiplication tables: a table loaded from the
+// store must be value-identical over the full operand sweep AND
+// representation-identical (same tier, same raw table words) to a fresh
+// build, in both kernel and oracle compilation modes.
+func TestStoreLoadedConstMulIdentical(t *testing.T) {
+	detachStores(t)
+	specs := []struct {
+		name string
+		spec arith.Multiplier
+		mode bool
+	}{
+		{"full-approx-combined", arith.Multiplier{Width: 16, ApproxLSBs: 8, Mult: approx.AppMultV1, Add: approx.ApproxAdd5}, true},
+		{"oracle", arith.Multiplier{Width: 16, ApproxLSBs: 8, Mult: approx.AppMultV1, Add: approx.ApproxAdd5}, false},
+	}
+	coeffs := []int64{1, 31, -6, 12345}
+	for _, tc := range specs {
+		t.Run(tc.name, func(t *testing.T) {
+			prev := SetEnabled(tc.mode)
+			defer SetEnabled(prev)
+			st, err := store.Open(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Pass 1: populate the store through fresh builds.
+			DropCaches()
+			AttachStore(st)
+			for _, c := range coeffs {
+				if _, err := CachedConstMulTable(tc.spec, c); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if st.Stats().Puts != int64(len(coeffs)) {
+				t.Fatalf("publish pass: %d puts, want %d", st.Stats().Puts, len(coeffs))
+			}
+			// Pass 2: reference builds with no store bound.
+			DropCaches()
+			refs := make([]*ConstMulTable, len(coeffs))
+			for i, c := range coeffs {
+				if refs[i], err = CachedConstMulTable(tc.spec, c); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// Pass 3: store-loaded builds.
+			DropCaches()
+			AttachStore(st)
+			h0 := st.Stats().Hits
+			for i, c := range coeffs {
+				got, err := CachedConstMulTable(tc.spec, c)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ref := refs[i]
+				if !reflect.DeepEqual(got.tab32, ref.tab32) || !reflect.DeepEqual(got.tab64, ref.tab64) {
+					t.Fatalf("c=%d: store-loaded table words differ from fresh build", c)
+				}
+				for u := 0; u < 1<<tc.spec.Width; u++ {
+					x := arith.ToSigned(uint64(u), tc.spec.Width)
+					if got.Mul(x) != ref.Mul(x) {
+						t.Fatalf("c=%d: Mul(%d) diverges between store-loaded and fresh", c, x)
+					}
+				}
+				// The loaded tier closures must be live too.
+				xs := []int64{-3, 0, 5}
+				dst := make([]int64, len(xs))
+				got.MulSlice(dst, xs)
+				for j, x := range xs {
+					if dst[j] != ref.Mul(x) {
+						t.Fatalf("c=%d: MulSlice on store-loaded table diverges", c)
+					}
+				}
+			}
+			if st.Stats().Hits != h0+int64(len(coeffs)) {
+				t.Fatalf("load pass: hits %d -> %d, want +%d", h0, st.Stats().Hits, len(coeffs))
+			}
+		})
+	}
+}
+
+// TestStoreSkipsNonPersistableTiers: the exact (table-free) and
+// exactly-decomposed (2 KB) tiers rebuild faster than a disk
+// round-trip, so the store must see no traffic for them.
+func TestStoreSkipsNonPersistableTiers(t *testing.T) {
+	detachStores(t)
+	prev := SetEnabled(true)
+	defer SetEnabled(prev)
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	DropCaches()
+	AttachStore(st)
+	for _, spec := range []arith.Multiplier{
+		{Width: 16, ApproxLSBs: 0, Mult: approx.AccMult, Add: approx.AccAdd},
+		{Width: 16, ApproxLSBs: 8, Mult: approx.AppMultV1, Add: approx.AccAdd},
+	} {
+		if _, err := CachedConstMulTable(spec, 17); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Exact squaring is table-free: also not persisted.
+	if _, err := CachedSquareTable(arith.Multiplier{Width: 16, ApproxLSBs: 0, Mult: approx.AccMult, Add: approx.AccAdd}); err != nil {
+		t.Fatal(err)
+	}
+	if s := st.Stats(); s.Puts != 0 || s.Hits != 0 || s.Misses != 0 {
+		t.Fatalf("non-persistable tiers touched the store: %+v", s)
+	}
+}
+
+// TestStoreLoadedSquareIdentical mirrors the const-mul identity test
+// for squaring tables, including the batch (slice) closure the loader
+// must reinstall.
+func TestStoreLoadedSquareIdentical(t *testing.T) {
+	detachStores(t)
+	prev := SetEnabled(true)
+	defer SetEnabled(prev)
+	spec := arith.Multiplier{Width: 16, ApproxLSBs: 8, Mult: approx.AppMultV2, Add: approx.ApproxAdd3}
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	DropCaches()
+	AttachStore(st)
+	if _, err := CachedSquareTable(spec); err != nil {
+		t.Fatal(err)
+	}
+	if st.Stats().Puts != 1 {
+		t.Fatalf("square publish: %+v", st.Stats())
+	}
+	DropCaches()
+	ref, err := CachedSquareTable(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	DropCaches()
+	AttachStore(st)
+	got, err := CachedSquareTable(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Stats().Hits != 1 {
+		t.Fatalf("square load: %+v", st.Stats())
+	}
+	if !reflect.DeepEqual(got.tab32, ref.tab32) || !reflect.DeepEqual(got.tab64, ref.tab64) {
+		t.Fatal("store-loaded square table words differ from fresh build")
+	}
+	n := 1 << spec.Width
+	xs := make([]int64, n)
+	for u := 0; u < n; u++ {
+		xs[u] = arith.ToSigned(uint64(u), spec.Width)
+	}
+	want := make([]int64, n)
+	have := make([]int64, n)
+	ref.SquareSlice(want, xs, 3)
+	got.SquareSlice(have, xs, 3)
+	for i := range xs {
+		if got.Square(xs[i]) != ref.Square(xs[i]) || have[i] != want[i] {
+			t.Fatalf("Square(%d) diverges between store-loaded and fresh", xs[i])
+		}
+	}
+}
+
+// TestStoreLoadedProjIdentical covers the wiring-chain projection
+// tables: loaded projections must be entry-identical to built ones.
+func TestStoreLoadedProjIdentical(t *testing.T) {
+	detachStores(t)
+	prev := SetEnabled(true)
+	defer SetEnabled(prev)
+	spec := arith.Multiplier{Width: 16, ApproxLSBs: 8, Mult: approx.AppMultV1, Add: approx.ApproxAdd5}
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	build := func() []ProjTable {
+		m, err := CachedMultiplier(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ps []ProjTable
+		for _, c := range []int64{12345, -77} {
+			for _, round := range []bool{false, true} {
+				ps = append(ps, cachedChainProj(m, c, 32, 12, c < 0, round))
+			}
+		}
+		return ps
+	}
+	DropCaches()
+	AttachStore(st)
+	build()
+	if st.Stats().Puts == 0 {
+		t.Fatalf("proj publish: %+v", st.Stats())
+	}
+	DropCaches()
+	refs := build()
+	DropCaches()
+	AttachStore(st)
+	h0 := st.Stats().Hits
+	got := build()
+	if st.Stats().Hits != h0+int64(len(refs)) {
+		t.Fatalf("proj load: hits %d -> %d, want +%d", h0, st.Stats().Hits, len(refs))
+	}
+	for i := range refs {
+		if !reflect.DeepEqual(got[i].u16, refs[i].u16) || !reflect.DeepEqual(got[i].u32, refs[i].u32) {
+			t.Fatalf("projection %d diverges between store-loaded and fresh", i)
+		}
+	}
+}
+
+// TestDropCachesDetachesStore is the regression test for the
+// generation contract: DropCaches must detach the store (no stale
+// store service for a bumped generation — cold benchmark loops stay
+// honest), and an explicit re-attach restores warm-store service with
+// identical table contents.
+func TestDropCachesDetachesStore(t *testing.T) {
+	detachStores(t)
+	prev := SetEnabled(true)
+	defer SetEnabled(prev)
+	spec := arith.Multiplier{Width: 16, ApproxLSBs: 8, Mult: approx.AppMultV1, Add: approx.ApproxAdd5}
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	DropCaches()
+	AttachStore(st)
+	t0, err := CachedConstMulTable(spec, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Stats().Puts != 1 {
+		t.Fatalf("warm-up publish: %+v", st.Stats())
+	}
+
+	gen := Generation()
+	DropCaches()
+	if AttachedStore() != nil {
+		t.Fatal("DropCaches left the store attached: a bumped generation could be served stale store entries")
+	}
+	if Generation() != gen+1 {
+		t.Fatalf("generation %d after drop, want %d", Generation(), gen+1)
+	}
+
+	// Cold loop: every DropCaches iteration must rebuild with zero store
+	// traffic.
+	before := st.Stats()
+	var t1 *ConstMulTable
+	for i := 0; i < 3; i++ {
+		DropCaches()
+		if t1, err = CachedConstMulTable(spec, 99); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after := st.Stats()
+	if after.Hits != before.Hits || after.Misses != before.Misses || after.Puts != before.Puts {
+		t.Fatalf("detached cold loop touched the store: %+v -> %+v", before, after)
+	}
+
+	// Explicit re-attach: the next cold build is a store hit, and the
+	// loaded table matches the fresh ones.
+	DropCaches()
+	AttachStore(st)
+	t2, err := CachedConstMulTable(spec, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Stats().Hits != after.Hits+1 {
+		t.Fatalf("re-attached build did not hit the store: %+v", st.Stats())
+	}
+	for u := 0; u < 1<<spec.Width; u++ {
+		x := arith.ToSigned(uint64(u), spec.Width)
+		if t2.Mul(x) != t0.Mul(x) || t2.Mul(x) != t1.Mul(x) {
+			t.Fatalf("Mul(%d) diverges across store regimes", x)
+		}
+	}
+}
+
+// TestStoreBadPayloadFallsBack plants an undecodable payload under a
+// live key: the loader must count a decode error, fall back to a fresh
+// build, and still return a correct table.
+func TestStoreBadPayloadFallsBack(t *testing.T) {
+	detachStores(t)
+	prev := SetEnabled(true)
+	defer SetEnabled(prev)
+	spec := arith.Multiplier{Width: 8, ApproxLSBs: 4, Mult: approx.AppMultV1, Add: approx.ApproxAdd5}
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A checksum-clean blob whose payload is not a valid table encoding.
+	st.Put(constMulStoreKey(spec, 7), []byte{0xff, 0x01, 0x02})
+	DropCaches()
+	AttachStore(st)
+	tab, err := CachedConstMulTable(spec, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Stats().Degraded == 0 {
+		t.Fatalf("decode error not counted: %+v", st.Stats())
+	}
+	for u := 0; u < 1<<spec.Width; u++ {
+		x := arith.ToSigned(uint64(u), spec.Width)
+		if got, want := tab.Mul(x), spec.MulSigned(x, 7); got != want {
+			t.Fatalf("Mul(%d) = %d after bad-payload fallback, reference %d", x, got, want)
+		}
+	}
+}

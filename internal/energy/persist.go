@@ -1,0 +1,264 @@
+package energy
+
+// Energy characterizations are the dominant cold-start cost of the
+// evaluation pipeline (the netlist simulation behind one stage's
+// switching activity dwarfs every kernel table build), and they are
+// pure functions of the charKey — stage, canonical arithmetic
+// configuration, dual stimulus fingerprints and analysis window. This
+// file binds the characterization cache to the content-addressed
+// artifact store (package store) the same way kernel tables bind in
+// arith/kernel/persist.go: AttachStore opts in, stageChar consults the
+// store between the in-memory miss and the characterize() build and
+// publishes after, and DropCaches detaches the binding (a drop means
+// "forget everything"; a surviving binding would resurrect dropped
+// entries and turn honest cold paths warm — re-attach explicitly for
+// the warm-store regime).
+//
+// A payload serializes the whole immutable charEntry: the optimised
+// stage netlist (cells, ports, net graph), the measured switching
+// activity and both synthesis reports, in a canonical little-endian
+// form (CellCounts keys sorted) so equal entries always encode to
+// equal bytes. Decoding reconstructs an entry value-identical to a
+// fresh characterization — the bit-identity tests in persist_test.go
+// and the experiments' golden traces hold with the store on, off or
+// half-corrupted. Any store error or undecodable payload demotes
+// silently to the in-memory characterization path.
+
+import (
+	"sort"
+	"sync"
+
+	"github.com/xbiosip/xbiosip/internal/approx"
+	"github.com/xbiosip/xbiosip/internal/netlist"
+	"github.com/xbiosip/xbiosip/internal/store"
+	"github.com/xbiosip/xbiosip/internal/synth"
+)
+
+var storeBinding struct {
+	sync.Mutex
+	st  *store.Store
+	gen uint64
+}
+
+// AttachStore binds the persistent artifact store to the global
+// characterization cache: cold characterizations consult it first and
+// publish into it. Attaching nil detaches. The binding does not
+// survive DropCaches (see the file doc comment).
+func AttachStore(s *store.Store) {
+	storeBinding.Lock()
+	storeBinding.st = s
+	storeBinding.Unlock()
+}
+
+// AttachedStore returns the store currently bound to the
+// characterization cache, or nil.
+func AttachedStore() *store.Store {
+	storeBinding.Lock()
+	defer storeBinding.Unlock()
+	return storeBinding.st
+}
+
+// Generation returns the characterization-cache generation: the number
+// of DropCaches calls so far.
+func Generation() uint64 {
+	storeBinding.Lock()
+	defer storeBinding.Unlock()
+	return storeBinding.gen
+}
+
+func dropStoreBinding() {
+	storeBinding.Lock()
+	storeBinding.st = nil
+	storeBinding.gen++
+	storeBinding.Unlock()
+}
+
+func charStoreKey(k charKey) store.Key {
+	var w store.Writer
+	w.U32(uint32(k.stage))
+	w.U32(uint32(k.cfg.LSBs))
+	w.U8(uint8(k.cfg.Add))
+	w.U8(uint8(k.cfg.Mul))
+	w.U64(k.stim)
+	w.U64(k.stim2)
+	w.U32(uint32(k.vectors))
+	w.U32(uint32(k.warmup))
+	return store.NewKey(store.KindChar, w.Bytes())
+}
+
+func encodePorts(w *store.Writer, ports []netlist.Port) {
+	w.U32(uint32(len(ports)))
+	for _, p := range ports {
+		w.Str(p.Name)
+		w.U32(uint32(len(p.Bits)))
+		for _, n := range p.Bits {
+			w.U32(uint32(n))
+		}
+	}
+}
+
+func decodePorts(r *store.Reader) []netlist.Port {
+	np := r.Count(2) // name length prefix is the cheapest per-port floor
+	ports := make([]netlist.Port, 0, np)
+	for i := 0; i < np; i++ {
+		var p netlist.Port
+		p.Name = r.Str()
+		nb := r.Count(4)
+		if r.Err() != nil {
+			return nil
+		}
+		p.Bits = make(netlist.Bus, nb)
+		for j := range p.Bits {
+			p.Bits[j] = netlist.Net(r.U32())
+		}
+		ports = append(ports, p)
+	}
+	return ports
+}
+
+func encodeReport(w *store.Writer, rep synth.Report) {
+	w.Str(rep.Name)
+	w.U32(uint32(rep.NumCells))
+	w.U32(uint32(rep.NumRegisters))
+	w.F64(rep.Area)
+	w.F64(rep.Power)
+	w.F64(rep.Delay)
+	w.F64(rep.Energy)
+	keys := make([]string, 0, len(rep.CellCounts))
+	for k := range rep.CellCounts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	w.U32(uint32(len(keys)))
+	for _, k := range keys {
+		w.Str(k)
+		w.U32(uint32(rep.CellCounts[k]))
+	}
+}
+
+func decodeReport(r *store.Reader) synth.Report {
+	var rep synth.Report
+	rep.Name = r.Str()
+	rep.NumCells = int(r.U32())
+	rep.NumRegisters = int(r.U32())
+	rep.Area = r.F64()
+	rep.Power = r.F64()
+	rep.Delay = r.F64()
+	rep.Energy = r.F64()
+	nk := r.Count(5) // len-prefixed key + count
+	rep.CellCounts = make(map[string]int, nk)
+	for i := 0; i < nk; i++ {
+		k := r.Str()
+		v := int(r.U32())
+		if r.Err() != nil {
+			return synth.Report{}
+		}
+		rep.CellCounts[k] = v
+	}
+	return rep
+}
+
+func encodeCharEntry(e *charEntry) []byte {
+	var w store.Writer
+	n := e.net
+	w.Str(n.Name)
+	w.U32(uint32(n.NumNets))
+	w.U32(uint32(len(n.Cells)))
+	for i := range n.Cells {
+		c := &n.Cells[i]
+		w.U8(uint8(c.Kind))
+		w.U8(uint8(c.Add))
+		w.U8(uint8(c.Mul))
+		w.U32(uint32(len(c.In)))
+		for _, in := range c.In {
+			w.U32(uint32(in))
+		}
+		w.U32(uint32(len(c.Out)))
+		for _, out := range c.Out {
+			w.U32(uint32(out))
+		}
+	}
+	encodePorts(&w, n.Inputs)
+	encodePorts(&w, n.Outputs)
+	w.U32(uint32(e.act.Vectors))
+	w.U32(uint32(len(e.act.PerCell)))
+	for _, a := range e.act.PerCell {
+		w.F64(a)
+	}
+	encodeReport(&w, e.rep)
+	encodeReport(&w, e.opt)
+	return w.Bytes()
+}
+
+// decodeCharEntry reconstructs a characterization entry from its
+// canonical payload. The blob layer already guarantees the bytes are
+// exactly what a publisher wrote (checksummed, key-verified), so this
+// only has to parse defensively — every count is bounds-checked by the
+// Reader, and any structural surprise returns an error instead of a
+// panic.
+func decodeCharEntry(payload []byte) (*charEntry, error) {
+	r := store.NewReader(payload)
+	n := &netlist.Netlist{}
+	n.Name = r.Str()
+	n.NumNets = int(r.U32())
+	nc := r.Count(7) // kind+add+mul + two count words is the per-cell floor
+	if r.Err() != nil {
+		return nil, store.ErrMalformed
+	}
+	n.Cells = make([]netlist.Cell, nc)
+	for i := range n.Cells {
+		c := &n.Cells[i]
+		c.Kind = netlist.CellKind(r.U8())
+		c.Add = approx.AdderKind(r.U8())
+		c.Mul = approx.MultKind(r.U8())
+		ni := r.Count(4)
+		if r.Err() != nil {
+			return nil, store.ErrMalformed
+		}
+		c.In = make([]netlist.Net, ni)
+		for j := range c.In {
+			c.In[j] = netlist.Net(r.U32())
+		}
+		no := r.Count(4)
+		if r.Err() != nil {
+			return nil, store.ErrMalformed
+		}
+		c.Out = make([]netlist.Net, no)
+		for j := range c.Out {
+			c.Out[j] = netlist.Net(r.U32())
+		}
+	}
+	n.Inputs = decodePorts(r)
+	n.Outputs = decodePorts(r)
+	var act netlist.Activity
+	act.Vectors = int(r.U32())
+	na := r.Count(8)
+	if r.Err() != nil {
+		return nil, store.ErrMalformed
+	}
+	act.PerCell = make([]float64, na)
+	for i := range act.PerCell {
+		act.PerCell[i] = r.F64()
+	}
+	rep := decodeReport(r)
+	opt := decodeReport(r)
+	if err := r.Finish(); err != nil {
+		return nil, err
+	}
+	return &charEntry{net: n, act: act, rep: rep, opt: opt}, nil
+}
+
+// loadChar fetches and decodes a characterization from the store;
+// a decode failure counts as degradation and reads as a miss.
+func loadChar(st *store.Store, key charKey) (*charEntry, bool) {
+	payload, ok := st.Get(charStoreKey(key))
+	if !ok {
+		return nil, false
+	}
+	e, err := decodeCharEntry(payload)
+	if err != nil {
+		st.NoteDecodeError()
+		return nil, false
+	}
+	return e, true
+}

@@ -1,0 +1,210 @@
+package energy
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"github.com/xbiosip/xbiosip/internal/dsp"
+	"github.com/xbiosip/xbiosip/internal/pantompkins"
+	"github.com/xbiosip/xbiosip/internal/store"
+)
+
+// TestStoreLoadedCharIdentical is the bit-identity contract for
+// persisted characterizations: an entry loaded from the store must be
+// value-identical — netlist, activity, both reports — to a fresh
+// characterization of the same stage and configuration.
+func TestStoreLoadedCharIdentical(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs := []dsp.ArithConfig{dsp.Accurate(), ama5(8)}
+	stages := []pantompkins.Stage{pantompkins.LPF, pantompkins.SQR}
+
+	// Pass 1: populate the store through fresh characterizations.
+	m := freshModel(t)
+	AttachStore(st)
+	for _, s := range stages {
+		for _, cfg := range cfgs {
+			if _, err := m.stageChar(s, cfg); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if st.Stats().Puts == 0 {
+		t.Fatalf("publish pass wrote nothing: %+v", st.Stats())
+	}
+
+	// Pass 2: reference characterizations with no store bound.
+	DropCaches()
+	if AttachedStore() != nil {
+		t.Fatal("DropCaches left the energy store attached")
+	}
+	refs := make(map[string]*charEntry)
+	for _, s := range stages {
+		for _, cfg := range cfgs {
+			e, err := m.stageChar(s, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			refs[s.String()+cfg.String()] = e
+		}
+	}
+
+	// Pass 3: store-loaded entries, compared field by field.
+	DropCaches()
+	AttachStore(st)
+	h0 := st.Stats().Hits
+	for _, s := range stages {
+		for _, cfg := range cfgs {
+			got, err := m.stageChar(s, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref := refs[s.String()+cfg.String()]
+			if !reflect.DeepEqual(got.net, ref.net) {
+				t.Fatalf("%v %v: store-loaded netlist differs from fresh", s, cfg)
+			}
+			if got.act.Vectors != ref.act.Vectors || len(got.act.PerCell) != len(ref.act.PerCell) {
+				t.Fatalf("%v %v: activity shape differs", s, cfg)
+			}
+			for i := range got.act.PerCell {
+				if math.Float64bits(got.act.PerCell[i]) != math.Float64bits(ref.act.PerCell[i]) {
+					t.Fatalf("%v %v: activity[%d] differs bit-for-bit", s, cfg, i)
+				}
+			}
+			if !reflect.DeepEqual(got.rep, ref.rep) || !reflect.DeepEqual(got.opt, ref.opt) {
+				t.Fatalf("%v %v: store-loaded reports differ from fresh", s, cfg)
+			}
+		}
+	}
+	if want := h0 + int64(len(stages)*len(cfgs)); st.Stats().Hits != want {
+		t.Fatalf("load pass: %d hits, want %d", st.Stats().Hits, want)
+	}
+	AttachStore(nil)
+}
+
+// TestStoreCharBadPayloadFallsBack plants an undecodable payload under
+// a live characterization key: the loader must count the degradation
+// and fall back to a fresh, correct characterization.
+func TestStoreCharBadPayloadFallsBack(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := freshModel(t)
+
+	// Reference energy, no store.
+	ref, err := m.StageEnergy(pantompkins.DER, ama5(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Recover the exact store key by publishing once, then rebuild the
+	// root with garbage under that key.
+	DropCaches()
+	AttachStore(st)
+	if _, err := m.StageEnergy(pantompkins.DER, ama5(8)); err != nil {
+		t.Fatal(err)
+	}
+	AttachStore(nil)
+
+	st2, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := charKey{
+		stage:   pantompkins.DER,
+		cfg:     canonicalStageCfg(ama5(8)),
+		stim:    m.stim.hash[pantompkins.DER],
+		stim2:   m.stim.hash2[pantompkins.DER],
+		vectors: m.Vectors,
+		warmup:  m.Warmup,
+	}
+	st2.Put(charStoreKey(key), []byte{0xde, 0xad})
+	DropCaches()
+	AttachStore(st2)
+	got, err := m.StageEnergy(pantompkins.DER, ama5(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != ref {
+		t.Fatalf("energy after bad-payload fallback %v, reference %v", got, ref)
+	}
+	if st2.Stats().Degraded == 0 {
+		t.Fatalf("decode error not counted: %+v", st2.Stats())
+	}
+	AttachStore(nil)
+}
+
+// TestDropCachesDetachesCharStore is the energy-side regression test
+// for the generation contract: DropCaches with a store attached must
+// detach it so cold loops see zero store traffic, and re-attaching
+// restores warm-store service.
+func TestDropCachesDetachesCharStore(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := freshModel(t)
+	AttachStore(st)
+	if _, err := m.StageEnergy(pantompkins.SQR, ama5(8)); err != nil {
+		t.Fatal(err)
+	}
+	if st.Stats().Puts == 0 {
+		t.Fatalf("warm-up publish: %+v", st.Stats())
+	}
+	gen := Generation()
+	DropCaches()
+	if AttachedStore() != nil {
+		t.Fatal("store survived DropCaches")
+	}
+	if Generation() != gen+1 {
+		t.Fatalf("generation %d, want %d", Generation(), gen+1)
+	}
+	before := st.Stats()
+	for i := 0; i < 2; i++ {
+		DropCaches()
+		if _, err := m.StageEnergy(pantompkins.SQR, ama5(8)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after := st.Stats()
+	if after.Hits != before.Hits || after.Misses != before.Misses || after.Puts != before.Puts {
+		t.Fatalf("detached cold loop touched the store: %+v -> %+v", before, after)
+	}
+	DropCaches()
+	AttachStore(st)
+	if _, err := m.StageEnergy(pantompkins.SQR, ama5(8)); err != nil {
+		t.Fatal(err)
+	}
+	if st.Stats().Hits != after.Hits+1 {
+		t.Fatalf("re-attached characterization did not hit the store: %+v", st.Stats())
+	}
+	AttachStore(nil)
+}
+
+// TestCharEntryCodecRoundTrip pins the canonical payload encoding:
+// encode→decode→encode must be a fixed point (so equal entries always
+// share one blob, and the fuzz no-false-positive property carries over
+// to the energy payload schema).
+func TestCharEntryCodecRoundTrip(t *testing.T) {
+	m := freshModel(t)
+	e, err := m.stageChar(pantompkins.LPF, ama5(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1 := encodeCharEntry(e)
+	d, err := decodeCharEntry(b1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2 := encodeCharEntry(d)
+	if !reflect.DeepEqual(b1, b2) {
+		t.Fatal("charEntry encoding is not a round-trip fixed point")
+	}
+	if !reflect.DeepEqual(d.net, e.net) || !reflect.DeepEqual(d.rep, e.rep) || !reflect.DeepEqual(d.opt, e.opt) {
+		t.Fatal("decoded charEntry differs from original")
+	}
+}

@@ -1,0 +1,161 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Kind tags the artifact family a key belongs to. Kinds partition the
+// key space, so two families with coincidentally equal key bytes never
+// alias.
+type Kind uint8
+
+const (
+	// KindConstMul is a kernel constant-multiplier product table.
+	KindConstMul Kind = 1
+	// KindSquare is a kernel squaring table.
+	KindSquare Kind = 2
+	// KindProj is a kernel wiring-chain projection table.
+	KindProj Kind = 3
+	// KindChar is an energy characterization (netlist + activity +
+	// synthesis reports).
+	KindChar Kind = 4
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindConstMul:
+		return "constmul"
+	case KindSquare:
+		return "square"
+	case KindProj:
+		return "proj"
+	case KindChar:
+		return "char"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Key addresses one artifact: a kind plus the caller's canonical key
+// bytes (serialized configuration fields and stimulus fingerprints,
+// typically built with Writer). The blob file name is the dual 128-bit
+// digest of the key bytes; the bytes themselves are embedded in the blob
+// header and verified on load, so a digest collision cannot serve
+// another key's payload.
+type Key struct {
+	kind   Kind
+	raw    []byte
+	d1, d2 uint64
+}
+
+// NewKey builds the key for (kind, raw). The raw bytes are copied.
+func NewKey(kind Kind, raw []byte) Key {
+	cp := append([]byte(nil), raw...)
+	d1, d2 := checksums(cp)
+	return Key{kind: kind, raw: cp, d1: d1 ^ uint64(kind)*0x9e3779b97f4a7c15, d2: d2}
+}
+
+// Kind returns the key's artifact family.
+func (k Key) Kind() Kind { return k.kind }
+
+// name is the blob file name: kind byte plus the 128-bit key digest,
+// hex. The name alone reconstructs the index fields of a blob, which is
+// what makes index recovery a pure directory scan.
+func (k Key) name() string {
+	return fmt.Sprintf("%02x-%016x%016x", uint8(k.kind), k.d1, k.d2)
+}
+
+// parseBlobName inverts Key.name for index reconciliation.
+func parseBlobName(name string) (kind Kind, d1, d2 uint64, ok bool) {
+	if len(name) != 2+1+32 || name[2] != '-' {
+		return 0, 0, 0, false
+	}
+	var kb uint8
+	if _, err := fmt.Sscanf(name[:2], "%02x", &kb); err != nil {
+		return 0, 0, 0, false
+	}
+	if _, err := fmt.Sscanf(name[3:19], "%016x", &d1); err != nil {
+		return 0, 0, 0, false
+	}
+	if _, err := fmt.Sscanf(name[19:35], "%016x", &d2); err != nil {
+		return 0, 0, 0, false
+	}
+	return Kind(kb), d1, d2, true
+}
+
+// Blob layout, all little-endian, fixed offsets from each length field:
+//
+//	magic   [8]byte "XBSART1\n"
+//	kind    uint8
+//	keyLen  uint32
+//	key     keyLen bytes
+//	payLen  uint64
+//	payload payLen bytes
+//	check1  uint64   dual checksum of everything above
+//	check2  uint64
+//
+// The checksums cover header and payload, so a bit flip anywhere in the
+// file — including the key or a length field — fails verification.
+var blobMagic = [8]byte{'X', 'B', 'S', 'A', 'R', 'T', '1', '\n'}
+
+const blobOverhead = 8 + 1 + 4 + 8 + 16
+
+// maxBlobSize caps how much of a blob file a reader will consume: large
+// enough for any real artifact (energy characterizations run to a few
+// megabytes), small enough that a corrupt length field cannot drive an
+// absurd allocation.
+const maxBlobSize = 64 << 20
+
+// ErrCorrupt is returned by decodeBlob for any verification failure —
+// bad magic, torn length, checksum mismatch. The store quarantines the
+// blob and reports a miss; it never surfaces corrupt bytes.
+var ErrCorrupt = errors.New("store: corrupt blob")
+
+// encodeBlob serializes one artifact.
+func encodeBlob(k Key, payload []byte) []byte {
+	buf := make([]byte, 0, blobOverhead+len(k.raw)+len(payload))
+	buf = append(buf, blobMagic[:]...)
+	buf = append(buf, uint8(k.kind))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(k.raw)))
+	buf = append(buf, k.raw...)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(payload)))
+	buf = append(buf, payload...)
+	c1, c2 := checksums(buf)
+	buf = binary.LittleEndian.AppendUint64(buf, c1)
+	buf = binary.LittleEndian.AppendUint64(buf, c2)
+	return buf
+}
+
+// decodeBlob verifies and splits one blob file. The returned key and
+// payload alias data. Any structural or checksum failure returns
+// ErrCorrupt; decodeBlob never panics on arbitrary input.
+func decodeBlob(data []byte) (kind Kind, keyRaw, payload []byte, err error) {
+	if len(data) < blobOverhead || len(data) > maxBlobSize {
+		return 0, nil, nil, ErrCorrupt
+	}
+	if [8]byte(data[:8]) != blobMagic {
+		return 0, nil, nil, ErrCorrupt
+	}
+	body := data[:len(data)-16]
+	c1 := binary.LittleEndian.Uint64(data[len(data)-16:])
+	c2 := binary.LittleEndian.Uint64(data[len(data)-8:])
+	w1, w2 := checksums(body)
+	if c1 != w1 || c2 != w2 {
+		return 0, nil, nil, ErrCorrupt
+	}
+	kind = Kind(data[8])
+	keyLen := binary.LittleEndian.Uint32(data[9:13])
+	if int64(keyLen) > int64(len(body))-13-8 {
+		return 0, nil, nil, ErrCorrupt
+	}
+	keyEnd := 13 + int(keyLen)
+	keyRaw = data[13:keyEnd]
+	payLen := binary.LittleEndian.Uint64(data[keyEnd : keyEnd+8])
+	if payLen != uint64(len(body)-keyEnd-8) {
+		return 0, nil, nil, ErrCorrupt
+	}
+	payload = data[keyEnd+8 : len(data)-16]
+	return kind, keyRaw, payload, nil
+}

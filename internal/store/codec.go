@@ -1,0 +1,212 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+)
+
+// ErrTruncated is the sticky Reader error for an input that ends before
+// the value being decoded.
+var ErrTruncated = errors.New("store: truncated input")
+
+// ErrMalformed is the sticky Reader error for an input whose structure is
+// invalid (an impossible length, a count larger than the bytes backing
+// it).
+var ErrMalformed = errors.New("store: malformed input")
+
+// Writer serializes artifact keys and payloads as flat little-endian
+// records. It is deliberately dumb: fixed-width integers and
+// length-prefixed byte strings only, so every encoding is canonical (one
+// value, one byte sequence) and a decoded-then-re-encoded blob is
+// byte-identical — the property the store's checksum fuzzing leans on.
+type Writer struct {
+	buf []byte
+}
+
+// U8 appends one byte.
+func (w *Writer) U8(v uint8) { w.buf = append(w.buf, v) }
+
+// U32 appends a little-endian uint32.
+func (w *Writer) U32(v uint32) { w.buf = binary.LittleEndian.AppendUint32(w.buf, v) }
+
+// U64 appends a little-endian uint64.
+func (w *Writer) U64(v uint64) { w.buf = binary.LittleEndian.AppendUint64(w.buf, v) }
+
+// I64 appends a little-endian two's-complement int64.
+func (w *Writer) I64(v int64) { w.U64(uint64(v)) }
+
+// F64 appends the IEEE-754 bit pattern of v, so float round-trips are
+// bit-exact (the store's bit-identity contract includes energies).
+func (w *Writer) F64(v float64) { w.U64(math.Float64bits(v)) }
+
+// Str appends a uint32 length prefix and the string bytes.
+func (w *Writer) Str(s string) {
+	w.U32(uint32(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+// Bytes returns the accumulated encoding.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Reader decodes Writer output from untrusted bytes. Every accessor
+// bounds-checks against the remaining input and latches the first error;
+// after an error all accessors return zero values, so decoding loops
+// terminate without panics on arbitrary input (the fuzz contract).
+type Reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+// NewReader wraps b for decoding.
+func NewReader(b []byte) *Reader { return &Reader{b: b} }
+
+// Err returns the first decode error, or nil.
+func (r *Reader) Err() error { return r.err }
+
+// Len returns the number of undecoded bytes remaining.
+func (r *Reader) Len() int { return len(r.b) - r.off }
+
+// fail latches err and returns false.
+func (r *Reader) fail(err error) bool {
+	if r.err == nil {
+		r.err = err
+	}
+	return false
+}
+
+func (r *Reader) need(n int) bool {
+	if r.err != nil {
+		return false
+	}
+	if r.Len() < n {
+		return r.fail(ErrTruncated)
+	}
+	return true
+}
+
+// U8 decodes one byte.
+func (r *Reader) U8() uint8 {
+	if !r.need(1) {
+		return 0
+	}
+	v := r.b[r.off]
+	r.off++
+	return v
+}
+
+// U32 decodes a little-endian uint32.
+func (r *Reader) U32() uint32 {
+	if !r.need(4) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v
+}
+
+// U64 decodes a little-endian uint64.
+func (r *Reader) U64() uint64 {
+	if !r.need(8) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v
+}
+
+// I64 decodes a little-endian two's-complement int64.
+func (r *Reader) I64() int64 { return int64(r.U64()) }
+
+// F64 decodes an IEEE-754 bit pattern.
+func (r *Reader) F64() float64 { return math.Float64frombits(r.U64()) }
+
+// Count decodes a uint32 element count and validates that at least
+// count*elemSize bytes remain, so a hostile count cannot drive a huge
+// allocation or an out-of-bounds loop. elemSize must be >= 1.
+func (r *Reader) Count(elemSize int) int {
+	n := r.U32()
+	if r.err != nil {
+		return 0
+	}
+	if int64(n)*int64(elemSize) > int64(r.Len()) {
+		r.fail(ErrMalformed)
+		return 0
+	}
+	return int(n)
+}
+
+// Str decodes a length-prefixed string.
+func (r *Reader) Str() string {
+	n := r.Count(1)
+	if r.err != nil || n == 0 {
+		return ""
+	}
+	s := string(r.b[r.off : r.off+n])
+	r.off += n
+	return s
+}
+
+// Finish reports whether decoding consumed the whole input cleanly; a
+// trailing-garbage or short input latches and returns the error.
+func (r *Reader) Finish() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.Len() != 0 {
+		return r.fail0(ErrMalformed)
+	}
+	return nil
+}
+
+func (r *Reader) fail0(err error) error {
+	r.fail(err)
+	return r.err
+}
+
+// checksums returns the store's dual 64-bit checksum of b: a word-wide
+// FNV-1a variant and an independent splitmix-style multiply-xor fold,
+// the same dual-fingerprint idiom as the energy characterization cache.
+// A blob is accepted only when both sums match, so a single-hash
+// collision cannot validate corrupt bytes. Both sums consume the input
+// eight bytes at a time (blobs run to hundreds of kilobytes and are
+// verified on every load; a byte-wise loop would dominate the warm-store
+// path); the zero-padded tail cannot alias a longer input because both
+// sums fold in the exact length.
+func checksums(b []byte) (uint64, uint64) {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+		gold     = 0x9e3779b97f4a7c15
+		mix1     = 0xbf58476d1ce4e5b9
+		mix2     = 0x94d049bb133111eb
+		fold     = 0xff51afd7ed558ccd
+	)
+	h1 := uint64(offset64) ^ uint64(len(b))*prime64
+	h2 := uint64(gold) ^ uint64(len(b))*mix1
+	step := func(w uint64) {
+		h1 = (h1 ^ w) * prime64
+		x := w + gold
+		x ^= x >> 30
+		x *= mix1
+		x ^= x >> 27
+		x *= mix2
+		x ^= x >> 31
+		h2 = (h2 ^ x) * fold
+	}
+	for len(b) >= 8 {
+		step(binary.LittleEndian.Uint64(b))
+		b = b[8:]
+	}
+	if len(b) > 0 {
+		var w uint64
+		for i, c := range b {
+			w |= uint64(c) << (8 * i)
+		}
+		step(w)
+	}
+	h1 ^= h1 >> 32
+	h2 ^= h2 >> 33
+	return h1, h2
+}

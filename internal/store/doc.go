@@ -1,0 +1,79 @@
+// Package store is the persistent, content-addressed artifact store
+// behind the in-memory kernel table and energy characterization caches.
+// Kernel tables, wiring projections and energy characterizations are pure
+// functions of (configuration, stimulus), so every artifact is immutable
+// once built: the store persists them across processes so a cold process
+// — or a cold benchmark iteration — starts warm instead of paying the
+// from-zero Table 2 build, and a fleet of stateless evaluators shares one
+// build per artifact.
+//
+// # Layout
+//
+// A store root holds four entries:
+//
+//	root/
+//	  blobs/       one file per artifact, named by its key digest
+//	  tmp/         in-flight publishes (temp blobs + per-key lock files)
+//	  quarantine/  blobs that failed verification, moved aside for autopsy
+//	  index        append-only record of published blobs (an accelerator)
+//
+// Artifacts are addressed by Key: a kind tag plus the caller's canonical
+// key bytes (serialized config fields, stimulus fingerprints, window
+// parameters), dual-hashed into a 128-bit digest that names the blob file
+// (FNV-1a plus an independent splitmix-style mix, the same
+// collision-resistance idiom as the energy cache's dual stimulus
+// fingerprints). The full key bytes are embedded in the blob header and
+// compared on every load, so even a 128-bit digest collision cannot serve
+// another key's payload.
+//
+// Blobs are flat little-endian records — magic, kind, key bytes, payload,
+// dual checksum — with every array at a fixed offset from its length
+// field, so a reader may mmap a blob and slice the payload in place after
+// one verification pass.
+//
+// # Atomicity and recovery contract
+//
+// Publish is atomic: the blob is written to tmp/ (created O_EXCL under a
+// per-key lock file, so racing cold processes elect one writer), fsynced,
+// renamed into blobs/, and the directory fsynced. A kill -9 at any point
+// leaves either no blob or the complete blob — never a partial one; torn
+// tmp files and stale locks are swept by age at the next Open. The index
+// is appended after the rename purely as an accelerator: every record
+// carries its own checksum, a torn tail parses to the last good record,
+// and Open reconciles the index against a blobs/ scan (blobs missing
+// from a torn index are re-appended, records whose blob vanished are
+// dropped), so the index can be deleted wholesale without losing data.
+//
+// Every blob load re-verifies the dual checksum and the embedded key.
+// A corrupt or truncated blob — bit-rot, torn rename target from a
+// non-POSIX filesystem, hostile bytes — is quarantined (moved to
+// quarantine/, freeing the name for a clean republish) and reported as a
+// miss, so the caller transparently rebuilds in memory: the store never
+// serves a wrong artifact, it only ever serves nothing.
+//
+// # Degradation ladder
+//
+// The store is an accelerator, never a dependency. In order of severity:
+//
+//  1. no store configured: callers run in-memory only (today's behavior);
+//  2. Open fails (unwritable root): the caller logs and stays detached;
+//  3. an I/O error during Get/Put: counted in Stats.Degraded, treated as
+//     a miss / skipped publish — evaluation proceeds from memory;
+//  4. a corrupt blob: counted in Stats.Corrupt, quarantined, rebuilt;
+//  5. a lock held by another publisher: counted in Stats.LockBusy, the
+//     publish is skipped (the other process's identical blob will serve
+//     future readers).
+//
+// No store condition ever fails an evaluation or changes a result:
+// store-loaded artifacts are byte/value-identical to freshly built ones,
+// which the kernel and energy equivalence suites assert directly.
+//
+// # Fault injection
+//
+// FaultFS wraps the FS interface the store runs on with seeded error
+// injection, torn writes (a prefix reaches the disk, then the op fails)
+// and a crash point (the Nth filesystem op takes partial effect and every
+// later op fails), mirroring serve.FaultLink for the delivery path. The
+// recovery suite sweeps the crash point across every op of a publish and
+// asserts the reopened store is always clean.
+package store

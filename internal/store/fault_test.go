@@ -1,0 +1,172 @@
+package store
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// verifyCleanRoot opens dir with the real filesystem and asserts the
+// recovery contract: Open succeeds, every file in blobs/ is a complete,
+// checksum-clean blob, and every published key either misses (the
+// publish died before the rename) or serves its exact payload. It
+// returns the number of keys that survived.
+func verifyCleanRoot(t *testing.T, dir string, keys []Key, payloads [][]byte) int {
+	t.Helper()
+	s, err := OpenConfig(dir, Config{LockStale: time.Nanosecond})
+	if err != nil {
+		t.Fatalf("reopen after fault: %v", err)
+	}
+	ents, err := os.ReadDir(filepath.Join(dir, "blobs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		data, err := os.ReadFile(filepath.Join(dir, "blobs", e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, _, err := decodeBlob(data); err != nil {
+			t.Fatalf("blobs/%s is torn or corrupt after crash: %v", e.Name(), err)
+		}
+	}
+	survived := 0
+	for i, k := range keys {
+		got, ok := s.Get(k)
+		if !ok {
+			continue
+		}
+		if !bytes.Equal(got, payloads[i]) {
+			t.Fatalf("key %d served wrong bytes after crash", i)
+		}
+		survived++
+	}
+	// The store must accept fresh publishes after recovery (in-flight
+	// keys rebuild and republish; stale locks are broken).
+	for i, k := range keys {
+		s.Put(k, payloads[i])
+		got, ok := s.Get(k)
+		if !ok || !bytes.Equal(got, payloads[i]) {
+			t.Fatalf("key %d: republish after recovery failed", i)
+		}
+	}
+	return survived
+}
+
+// TestStoreCrashSweep simulates kill -9 at every filesystem-op boundary
+// of a publish sequence: for each crash point the surviving on-disk
+// state must reopen clean, serve only complete blobs, and accept the
+// rebuilt publishes. This is the deterministic, exhaustive counterpart
+// of the child-process kill harness in crash_test.go.
+func TestStoreCrashSweep(t *testing.T) {
+	keys := make([]Key, 4)
+	payloads := make([][]byte, 4)
+	for i := range keys {
+		keys[i] = testKey(KindChar, 1000+i)
+		payloads[i] = testPayload(1000 + i)
+	}
+	for crash := 1; ; crash++ {
+		dir := t.TempDir()
+		ffs := NewFaultFS(OS(), FaultFSConfig{Seed: uint64(crash), CrashAfter: crash})
+		s, err := OpenConfig(dir, Config{FS: ffs, LockStale: time.Hour})
+		if err == nil {
+			for i, k := range keys {
+				s.Put(k, payloads[i])
+			}
+		}
+		n := verifyCleanRoot(t, dir, keys, payloads)
+		if !ffs.Stats().Crashed {
+			// The whole sequence completed before the crash point: every
+			// key must have survived on its own.
+			if n != len(keys) {
+				t.Fatalf("crash=%d: fault-free run lost %d keys", crash, len(keys)-n)
+			}
+			break
+		}
+	}
+}
+
+// TestStoreTornWriteNeverPublishes forces every write to persist only a
+// prefix: no blob may ever appear in blobs/, and the store must degrade
+// silently rather than error.
+func TestStoreTornWriteNeverPublishes(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(OS(), FaultFSConfig{Seed: 7, TornWrite: 1})
+	s, err := OpenConfig(dir, Config{FS: ffs, LockStale: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		s.Put(testKey(KindProj, i), testPayload(i))
+	}
+	ents, err := os.ReadDir(filepath.Join(dir, "blobs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		t.Fatalf("%d blobs published through torn writes", len(ents))
+	}
+	st := s.Stats()
+	if st.Degraded == 0 || st.Puts != 0 {
+		t.Fatalf("torn writes not degraded: %+v", st)
+	}
+	if fst := ffs.Stats(); fst.TornWrites == 0 {
+		t.Fatalf("no torn writes recorded: %+v", fst)
+	}
+}
+
+// TestStoreRandomFaultSoak drives Get/Put through a lossy filesystem for
+// many seeds: nothing may panic, reads may only return exact payloads,
+// and the surviving root must always reopen clean.
+func TestStoreRandomFaultSoak(t *testing.T) {
+	keys := make([]Key, 6)
+	payloads := make([][]byte, 6)
+	for i := range keys {
+		keys[i] = testKey(KindSquare, 2000+i)
+		payloads[i] = testPayload(2000 + i)
+	}
+	for seed := uint64(1); seed <= 40; seed++ {
+		dir := t.TempDir()
+		ffs := NewFaultFS(OS(), FaultFSConfig{Seed: seed, ErrProb: 0.2, TornWrite: 0.3})
+		s, err := OpenConfig(dir, Config{FS: ffs, LockStale: time.Hour})
+		if err != nil {
+			continue // unusable root is a legal degradation
+		}
+		for round := 0; round < 3; round++ {
+			for i, k := range keys {
+				if got, ok := s.Get(k); ok && !bytes.Equal(got, payloads[i]) {
+					t.Fatalf("seed %d: wrong payload under faults", seed)
+				}
+				s.Put(k, payloads[i])
+			}
+		}
+		verifyCleanRoot(t, dir, keys, payloads)
+	}
+}
+
+// TestStoreDegradedOpenIsMiss checks a store over a permanently failing
+// filesystem serves only misses and counts the degradation — the
+// caller's in-memory path keeps working, nothing errors.
+func TestStoreDegradedOpenIsMiss(t *testing.T) {
+	dir := t.TempDir()
+	// Publish cleanly first, then fail every op.
+	s0, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey(KindConstMul, 5)
+	s0.Put(k, testPayload(5))
+
+	ffs := NewFaultFS(OS(), FaultFSConfig{Seed: 3, ErrProb: 1})
+	s := &Store{root: dir, fsys: ffs, lockStale: time.Hour, entries: make(map[string]int64)}
+	if _, ok := s.Get(k); ok {
+		t.Fatal("hit through a dead filesystem")
+	}
+	s.Put(k, testPayload(5))
+	st := s.Stats()
+	if st.Degraded == 0 {
+		t.Fatalf("dead filesystem not counted: %+v", st)
+	}
+}

@@ -1,0 +1,309 @@
+package store
+
+import (
+	"errors"
+	"io"
+	"io/fs"
+	"os"
+	"sync"
+)
+
+// FS is the filesystem surface the store runs on. The production
+// implementation is OS(); FaultFS wraps any FS with seeded fault
+// injection. The store only ever uses these nine operations, so the
+// whole atomicity contract is testable op by op.
+type FS interface {
+	MkdirAll(dir string) error
+	// Open opens an existing file for reading.
+	Open(name string) (File, error)
+	// Create opens a file for writing, truncating it. With excl set the
+	// create fails if the file already exists (O_EXCL) — the store's
+	// cross-process election primitive.
+	Create(name string, excl bool) (File, error)
+	// Append opens a file for appending, creating it if absent.
+	Append(name string) (File, error)
+	Rename(oldname, newname string) error
+	Remove(name string) error
+	Stat(name string) (fs.FileInfo, error)
+	ReadDir(dir string) ([]fs.DirEntry, error)
+	// SyncDir fsyncs a directory so a completed rename is durable.
+	SyncDir(dir string) error
+}
+
+// File is the store's file handle surface.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	Sync() error
+}
+
+// OS returns the real-filesystem FS.
+func OS() FS { return osFS{} }
+
+type osFS struct{}
+
+func (osFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+func (osFS) Open(name string) (File, error) { return os.Open(name) }
+
+func (osFS) Create(name string, excl bool) (File, error) {
+	flags := os.O_WRONLY | os.O_CREATE | os.O_TRUNC
+	if excl {
+		flags = os.O_WRONLY | os.O_CREATE | os.O_EXCL
+	}
+	return os.OpenFile(name, flags, 0o644)
+}
+
+func (osFS) Append(name string) (File, error) {
+	return os.OpenFile(name, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+}
+
+func (osFS) Rename(oldname, newname string) error { return os.Rename(oldname, newname) }
+
+func (osFS) Remove(name string) error { return os.Remove(name) }
+
+func (osFS) Stat(name string) (fs.FileInfo, error) { return os.Stat(name) }
+
+func (osFS) ReadDir(dir string) ([]fs.DirEntry, error) { return os.ReadDir(dir) }
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}
+
+// ErrInjected is the error FaultFS returns for a seeded random fault.
+var ErrInjected = errors.New("store: injected fault")
+
+// ErrCrashed is returned by every FaultFS operation at and after the
+// configured crash point: the wrapped process is "dead", nothing it does
+// reaches the disk anymore.
+var ErrCrashed = errors.New("store: injected crash")
+
+// FaultFSConfig parameterises a FaultFS. Zero values disable the
+// corresponding fault; the zero config is a transparent wrapper.
+type FaultFSConfig struct {
+	// Seed selects the deterministic fault stream, like serve.FaultConfig.
+	Seed uint64
+	// ErrProb is the per-operation probability of returning ErrInjected
+	// with no effect on the disk.
+	ErrProb float64
+	// TornWrite is the per-Write probability that only a seeded prefix of
+	// the buffer reaches the disk before the op fails.
+	TornWrite float64
+	// CrashAfter, when positive, kills the filesystem at the Nth
+	// operation (1-based): that op takes partial effect — a Write
+	// persists a seeded prefix, any other op does nothing — and every
+	// subsequent op returns ErrCrashed. Sweeping CrashAfter across every
+	// op of a publish simulates kill -9 at each syscall boundary.
+	CrashAfter int
+}
+
+// FaultFSStats counts what a FaultFS did to the offered operations.
+type FaultFSStats struct {
+	Ops        int // operations offered (including faulted ones)
+	Injected   int // ErrInjected returns
+	TornWrites int // writes that persisted only a prefix
+	Crashed    bool
+}
+
+// FaultFS wraps an FS with deterministic, seeded fault injection. It is
+// safe for concurrent use (the store itself may be used concurrently).
+type FaultFS struct {
+	inner FS
+	cfg   FaultFSConfig
+
+	mu      sync.Mutex
+	rng     uint64
+	stats   FaultFSStats
+	crashed bool
+}
+
+// NewFaultFS wraps inner with the given fault configuration.
+func NewFaultFS(inner FS, cfg FaultFSConfig) *FaultFS {
+	return &FaultFS{inner: inner, cfg: cfg, rng: cfg.Seed}
+}
+
+// Stats returns the operation counters so far.
+func (f *FaultFS) Stats() FaultFSStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats
+}
+
+// next advances the splitmix64 stream (the same generator as
+// serve.FaultLink, so fault schedules are comparable across subsystems).
+func (f *FaultFS) next() uint64 {
+	f.rng += 0x9E3779B97F4A7C15
+	z := f.rng
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return z
+}
+
+func (f *FaultFS) roll(p float64) bool {
+	u := float64(f.next()>>11) / (1 << 53)
+	return u < p
+}
+
+// gate runs the per-op fault decision. It returns (tornLen, err): err is
+// the fault to return (nil for a clean op); tornLen >= 0 instructs a
+// Write to persist only that many bytes of the n offered before failing.
+func (f *FaultFS) gate(isWrite bool, n int) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return -1, ErrCrashed
+	}
+	f.stats.Ops++
+	if f.cfg.CrashAfter > 0 && f.stats.Ops >= f.cfg.CrashAfter {
+		f.crashed = true
+		f.stats.Crashed = true
+		if isWrite && n > 0 {
+			// The dying write reaches the disk partially.
+			f.stats.TornWrites++
+			return int(f.next() % uint64(n)), ErrCrashed
+		}
+		return -1, ErrCrashed
+	}
+	if f.roll(f.cfg.ErrProb) {
+		f.stats.Injected++
+		return -1, ErrInjected
+	}
+	if isWrite && n > 0 && f.roll(f.cfg.TornWrite) {
+		f.stats.TornWrites++
+		return int(f.next() % uint64(n)), ErrInjected
+	}
+	return -1, nil
+}
+
+func (f *FaultFS) MkdirAll(dir string) error {
+	if _, err := f.gate(false, 0); err != nil {
+		return err
+	}
+	return f.inner.MkdirAll(dir)
+}
+
+func (f *FaultFS) Open(name string) (File, error) {
+	if _, err := f.gate(false, 0); err != nil {
+		return nil, err
+	}
+	fl, err := f.inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: fl}, nil
+}
+
+func (f *FaultFS) Create(name string, excl bool) (File, error) {
+	if _, err := f.gate(false, 0); err != nil {
+		return nil, err
+	}
+	fl, err := f.inner.Create(name, excl)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: fl}, nil
+}
+
+func (f *FaultFS) Append(name string) (File, error) {
+	if _, err := f.gate(false, 0); err != nil {
+		return nil, err
+	}
+	fl, err := f.inner.Append(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: fl}, nil
+}
+
+func (f *FaultFS) Rename(oldname, newname string) error {
+	if _, err := f.gate(false, 0); err != nil {
+		return err
+	}
+	return f.inner.Rename(oldname, newname)
+}
+
+func (f *FaultFS) Remove(name string) error {
+	if _, err := f.gate(false, 0); err != nil {
+		return err
+	}
+	return f.inner.Remove(name)
+}
+
+func (f *FaultFS) Stat(name string) (fs.FileInfo, error) {
+	if _, err := f.gate(false, 0); err != nil {
+		return nil, err
+	}
+	return f.inner.Stat(name)
+}
+
+func (f *FaultFS) ReadDir(dir string) ([]fs.DirEntry, error) {
+	if _, err := f.gate(false, 0); err != nil {
+		return nil, err
+	}
+	return f.inner.ReadDir(dir)
+}
+
+func (f *FaultFS) SyncDir(dir string) error {
+	if _, err := f.gate(false, 0); err != nil {
+		return err
+	}
+	return f.inner.SyncDir(dir)
+}
+
+// faultFile routes every handle op through the owning FaultFS gate, so a
+// crash point can land between any two syscalls of a publish, not just
+// between whole-file operations.
+type faultFile struct {
+	fs    *FaultFS
+	inner File
+}
+
+func (f *faultFile) Read(p []byte) (int, error) {
+	if _, err := f.fs.gate(false, 0); err != nil {
+		return 0, err
+	}
+	return f.inner.Read(p)
+}
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	torn, err := f.fs.gate(true, len(p))
+	if err != nil {
+		if torn >= 0 && torn < len(p) {
+			n, _ := f.inner.Write(p[:torn])
+			return n, err
+		}
+		return 0, err
+	}
+	return f.inner.Write(p)
+}
+
+func (f *faultFile) Sync() error {
+	if _, err := f.fs.gate(false, 0); err != nil {
+		return err
+	}
+	return f.inner.Sync()
+}
+
+// Close always closes the inner handle (a crashed process's descriptors
+// are closed by the kernel regardless), but still reports the fault so
+// publish error paths are exercised.
+func (f *faultFile) Close() error {
+	_, err := f.fs.gate(false, 0)
+	if cerr := f.inner.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

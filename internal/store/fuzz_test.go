@@ -1,0 +1,93 @@
+package store
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzStoreBlob feeds arbitrary bytes through the blob decoder: it must
+// never panic, and it must never accept bytes that are not the exact
+// canonical encoding of what it claims to hold — a decode that succeeds
+// re-encodes byte-identically (no trailing garbage, no length
+// ambiguity, no checksum false positive by construction).
+func FuzzStoreBlob(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(blobMagic[:])
+	clean := encodeBlob(NewKey(KindConstMul, []byte{1, 2, 3}), []byte("payload"))
+	f.Add(clean)
+	for pos := 0; pos < len(clean); pos += 5 {
+		mut := append([]byte(nil), clean...)
+		mut[pos] ^= 0x10
+		f.Add(mut)
+	}
+	f.Add(clean[:len(clean)-3])
+	f.Add(append(append([]byte(nil), clean...), 0))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		kind, keyRaw, payload, err := decodeBlob(data)
+		if err != nil {
+			return
+		}
+		re := encodeBlob(NewKey(kind, keyRaw), payload)
+		if !bytes.Equal(re, data) {
+			t.Fatalf("decoder accepted non-canonical blob: %d bytes in, %d bytes canonical", len(data), len(re))
+		}
+	})
+}
+
+// FuzzStoreIndex feeds arbitrary bytes through the index parser: never
+// a panic, and every accepted record must itself be checksum-clean —
+// re-encoding the accepted prefix reproduces the input's leading bytes
+// exactly, so a torn or bit-flipped tail can only shrink the view,
+// never invent an entry.
+func FuzzStoreIndex(f *testing.F) {
+	f.Add([]byte{})
+	var idx []byte
+	for i := 0; i < 4; i++ {
+		idx = append(idx, encodeIndexRecord(indexEntry{kind: KindProj, d1: uint64(i), d2: ^uint64(i), size: 100})...)
+	}
+	f.Add(idx)
+	f.Add(idx[:len(idx)-7])
+	mut := append([]byte(nil), idx...)
+	mut[indexRecSize+3] ^= 0x80
+	f.Add(mut)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		entries := parseIndex(data)
+		var re []byte
+		for _, e := range entries {
+			re = append(re, encodeIndexRecord(e)...)
+		}
+		if len(re) > len(data) || !bytes.Equal(re, data[:len(re)]) {
+			t.Fatalf("index parser accepted records it cannot re-encode (%d records)", len(entries))
+		}
+	})
+}
+
+// FuzzStoreCodec feeds arbitrary bytes through the Reader used by the
+// kernel and energy payload decoders: no accessor sequence may panic,
+// and Count must never admit a length the input cannot back.
+func FuzzStoreCodec(f *testing.F) {
+	var w Writer
+	w.U8(3)
+	w.U32(7)
+	w.U64(1 << 40)
+	w.I64(-5)
+	w.F64(3.25)
+	w.Str("port")
+	f.Add(w.Bytes())
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(data)
+		r.U8()
+		n := r.Count(4)
+		if r.Err() == nil && n*4 > r.Len() {
+			t.Fatalf("Count admitted %d elements with %d bytes left", n, r.Len())
+		}
+		for i := 0; i < n; i++ {
+			r.U32()
+		}
+		r.Str()
+		r.F64()
+		r.I64()
+		_ = r.Finish()
+	})
+}

@@ -1,0 +1,77 @@
+package store
+
+import (
+	"encoding/binary"
+)
+
+// The index is an append-only accelerator listing published blobs, one
+// fixed-size checksummed record per blob. It is never authoritative: a
+// record whose blob vanished is dropped at Open, a blob missing from a
+// torn index is rediscovered by the blobs/ directory scan (the file name
+// encodes every index field), and deleting the file loses nothing but
+// the scan-free fast path. Records are appended after the blob rename,
+// so a crash between the two leaves a recoverable gap, not a lie.
+
+// indexEntry is one decoded index record.
+type indexEntry struct {
+	kind   Kind
+	d1, d2 uint64
+	size   uint64 // blob file size in bytes
+}
+
+// indexRecSize is the full on-disk record: uint32 length prefix, the
+// 25-byte body (kind, d1, d2, size) and the 16-byte dual checksum of the
+// body. The length prefix names the body+checksum length so the reader
+// can stop cleanly at a torn tail.
+const (
+	indexBodySize = 1 + 8 + 8 + 8
+	indexRecSize  = 4 + indexBodySize + 16
+)
+
+// name returns the blob file name the record describes.
+func (e indexEntry) name() string {
+	return Key{kind: e.kind, d1: e.d1, d2: e.d2}.name()
+}
+
+// encodeIndexRecord serializes one record.
+func encodeIndexRecord(e indexEntry) []byte {
+	buf := make([]byte, 0, indexRecSize)
+	buf = binary.LittleEndian.AppendUint32(buf, indexBodySize+16)
+	buf = append(buf, uint8(e.kind))
+	buf = binary.LittleEndian.AppendUint64(buf, e.d1)
+	buf = binary.LittleEndian.AppendUint64(buf, e.d2)
+	buf = binary.LittleEndian.AppendUint64(buf, e.size)
+	c1, c2 := checksums(buf[4 : 4+indexBodySize])
+	buf = binary.LittleEndian.AppendUint64(buf, c1)
+	buf = binary.LittleEndian.AppendUint64(buf, c2)
+	return buf
+}
+
+// parseIndex decodes as many whole, checksum-clean records as the input
+// holds, stopping at the first torn or corrupt one (an append that died
+// mid-write truncates the view to the last good record; everything after
+// it is recovered from the blobs scan). It never panics on arbitrary
+// input.
+func parseIndex(data []byte) []indexEntry {
+	var out []indexEntry
+	for len(data) >= indexRecSize {
+		if binary.LittleEndian.Uint32(data) != indexBodySize+16 {
+			break
+		}
+		body := data[4 : 4+indexBodySize]
+		c1 := binary.LittleEndian.Uint64(data[4+indexBodySize:])
+		c2 := binary.LittleEndian.Uint64(data[4+indexBodySize+8:])
+		w1, w2 := checksums(body)
+		if c1 != w1 || c2 != w2 {
+			break
+		}
+		out = append(out, indexEntry{
+			kind: Kind(body[0]),
+			d1:   binary.LittleEndian.Uint64(body[1:]),
+			d2:   binary.LittleEndian.Uint64(body[9:]),
+			size: binary.LittleEndian.Uint64(body[17:]),
+		})
+		data = data[indexRecSize:]
+	}
+	return out
+}

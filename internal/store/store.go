@@ -1,0 +1,408 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// Config parameterises Open beyond the root directory.
+type Config struct {
+	// FS is the filesystem the store runs on; nil means the real one.
+	// Tests substitute a FaultFS to drive the recovery paths.
+	FS FS
+	// LockStale is the age past which a leftover publish lock or temp
+	// file (a crashed publisher's droppings) is broken. Zero means a
+	// conservative default of 5 minutes; tests use small values to
+	// exercise the takeover path deterministically.
+	LockStale time.Duration
+}
+
+// Stats is the store accounting, the persistent counterpart of
+// kernel.Stats and energy.Stats.
+type Stats struct {
+	// Entries and Bytes describe the blobs known to this handle
+	// (published or observed at Open; Get also serves blobs other
+	// processes published later, which appear here once loaded).
+	Entries int
+	Bytes   int64
+	// Hits counts Gets served a verified payload; Misses counts probes
+	// for keys with no blob.
+	Hits, Misses int64
+	// Corrupt counts blobs that failed verification on load and were
+	// quarantined (the caller rebuilt in memory and typically
+	// republished).
+	Corrupt int64
+	// Degraded counts operations abandoned on an I/O or decode error —
+	// each one a silent demotion to in-memory-only behavior, never a
+	// failed evaluation.
+	Degraded int64
+	// Puts counts blobs published by this handle; PutSkipped counts
+	// publishes skipped because the blob already existed
+	// (first-insert-wins); LockBusy counts publishes skipped because
+	// another process held the key's publish lock.
+	Puts, PutSkipped, LockBusy int64
+	// Recovered counts index records rebuilt from the blobs scan at
+	// Open (blobs a crash orphaned from the index); TornTemps counts
+	// stale temp/lock files swept at Open.
+	Recovered, TornTemps int64
+}
+
+// Store is one process's handle on a store root. It is safe for
+// concurrent use, and any number of processes may share a root: blobs
+// are immutable once published and publishes are atomic renames, so
+// readers never observe partial state.
+type Store struct {
+	root      string
+	fsys      FS
+	lockStale time.Duration
+
+	mu      sync.Mutex
+	entries map[string]int64 // blob name -> size
+	bytes   int64
+	stats   Stats
+	quarSeq int
+}
+
+// Open opens (creating if needed) the store rooted at dir with default
+// configuration.
+func Open(dir string) (*Store, error) { return OpenConfig(dir, Config{}) }
+
+// OpenConfig opens the store rooted at dir. It creates the layout,
+// sweeps stale temp files, loads the index tolerantly and reconciles it
+// against a blobs scan; a torn index or leftover publish droppings are
+// repaired, never fatal. Open fails only when the root itself is
+// unusable (then the caller stays in-memory-only — degradation rung 2).
+func OpenConfig(dir string, cfg Config) (*Store, error) {
+	fsys := cfg.FS
+	if fsys == nil {
+		fsys = OS()
+	}
+	stale := cfg.LockStale
+	if stale == 0 {
+		stale = 5 * time.Minute
+	}
+	s := &Store{root: dir, fsys: fsys, lockStale: stale, entries: make(map[string]int64)}
+	for _, d := range []string{dir, s.blobDir(), s.tmpDir(), s.quarDir()} {
+		if err := fsys.MkdirAll(d); err != nil {
+			return nil, fmt.Errorf("store: open %s: %w", dir, err)
+		}
+	}
+	s.sweepTemps()
+	s.loadIndex()
+	return s, nil
+}
+
+// Root returns the store's root directory.
+func (s *Store) Root() string { return s.root }
+
+// BlobDir returns the blob directory (tests corrupt files in place
+// through it).
+func (s *Store) BlobDir() string { return s.blobDir() }
+
+func (s *Store) blobDir() string { return filepath.Join(s.root, "blobs") }
+func (s *Store) tmpDir() string  { return filepath.Join(s.root, "tmp") }
+func (s *Store) quarDir() string { return filepath.Join(s.root, "quarantine") }
+func (s *Store) indexPath() string { return filepath.Join(s.root, "index") }
+
+// Stats returns a snapshot of the store counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Entries = len(s.entries)
+	st.Bytes = s.bytes
+	return st
+}
+
+// NoteDecodeError records that a caller could not decode a verified
+// payload (a schema drift between writer and reader versions). The store
+// treated the Get as a hit; the caller demoted it to a rebuild, which is
+// degradation rung 3.
+func (s *Store) NoteDecodeError() {
+	s.mu.Lock()
+	s.stats.Degraded++
+	s.stats.Hits--
+	s.stats.Misses++
+	s.mu.Unlock()
+}
+
+// sweepTemps removes temp and lock files older than the stale age —
+// droppings of publishers that died mid-flight. Fresh files are left
+// alone: they may belong to a live publisher in another process.
+func (s *Store) sweepTemps() {
+	ents, err := s.fsys.ReadDir(s.tmpDir())
+	if err != nil {
+		return
+	}
+	for _, e := range ents {
+		path := filepath.Join(s.tmpDir(), e.Name())
+		fi, err := s.fsys.Stat(path)
+		if err != nil || time.Since(fi.ModTime()) < s.lockStale {
+			continue
+		}
+		if s.fsys.Remove(path) == nil {
+			s.mu.Lock()
+			s.stats.TornTemps++
+			s.mu.Unlock()
+		}
+	}
+}
+
+// loadIndex reads the index tolerantly and reconciles it with the blobs
+// directory: records whose blob vanished are dropped, blobs a crash
+// orphaned from the index are re-appended (Recovered). The resulting
+// in-memory map is an accelerator for Stats; Get always probes the
+// filesystem so blobs published later by other processes still serve.
+func (s *Store) loadIndex() {
+	var indexed []indexEntry
+	if f, err := s.fsys.Open(s.indexPath()); err == nil {
+		data, rerr := readCapped(f, maxIndexSize)
+		f.Close()
+		if rerr == nil {
+			indexed = parseIndex(data)
+		}
+	}
+	inIndex := make(map[string]bool, len(indexed))
+	for _, e := range indexed {
+		inIndex[e.name()] = true
+	}
+	ents, err := s.fsys.ReadDir(s.blobDir())
+	if err != nil {
+		return
+	}
+	for _, de := range ents {
+		name := de.Name()
+		kind, d1, d2, ok := parseBlobName(name)
+		if !ok {
+			continue
+		}
+		fi, err := s.fsys.Stat(filepath.Join(s.blobDir(), name))
+		if err != nil {
+			continue
+		}
+		s.mu.Lock()
+		s.entries[name] = fi.Size()
+		s.bytes += fi.Size()
+		s.mu.Unlock()
+		if !inIndex[name] {
+			s.appendIndex(indexEntry{kind: kind, d1: d1, d2: d2, size: uint64(fi.Size())})
+			s.mu.Lock()
+			s.stats.Recovered++
+			s.mu.Unlock()
+		}
+	}
+}
+
+// maxIndexSize caps how much index a reader consumes (a corrupt or
+// hostile index cannot drive an unbounded allocation).
+const maxIndexSize = 64 << 20
+
+// readCapped reads a whole file, refusing to consume more than limit.
+func readCapped(f File, limit int64) ([]byte, error) {
+	data, err := io.ReadAll(io.LimitReader(f, limit+1))
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(data)) > limit {
+		return nil, ErrCorrupt
+	}
+	return data, nil
+}
+
+// Get returns the verified payload stored under k, or (nil, false). A
+// missing blob is a miss; an unreadable one is a degraded miss; a blob
+// that fails checksum or key verification is quarantined and reported
+// as a miss, so the caller rebuilds — the store never serves corrupt or
+// mis-keyed bytes. Get never returns an error: every failure demotes to
+// in-memory behavior by design.
+func (s *Store) Get(k Key) ([]byte, bool) {
+	name := k.name()
+	path := filepath.Join(s.blobDir(), name)
+	f, err := s.fsys.Open(path)
+	if err != nil {
+		s.mu.Lock()
+		if errors.Is(err, fs.ErrNotExist) {
+			s.stats.Misses++
+		} else {
+			s.stats.Misses++
+			s.stats.Degraded++
+		}
+		s.mu.Unlock()
+		return nil, false
+	}
+	data, err := readCapped(f, maxBlobSize)
+	f.Close()
+	if err != nil {
+		s.mu.Lock()
+		s.stats.Misses++
+		s.stats.Degraded++
+		s.mu.Unlock()
+		return nil, false
+	}
+	kind, keyRaw, payload, err := decodeBlob(data)
+	if err != nil {
+		s.quarantine(name)
+		s.mu.Lock()
+		s.stats.Misses++
+		s.stats.Corrupt++
+		s.mu.Unlock()
+		return nil, false
+	}
+	if kind != k.kind || !bytes.Equal(keyRaw, k.raw) {
+		// A checksum-clean blob under this name that belongs to a
+		// different key: a 128-bit digest collision (or a renamed file).
+		// The blob is valid data, so it is not quarantined; the probe
+		// just misses and the caller rebuilds.
+		s.mu.Lock()
+		s.stats.Misses++
+		s.stats.Degraded++
+		s.mu.Unlock()
+		return nil, false
+	}
+	s.mu.Lock()
+	s.stats.Hits++
+	if _, ok := s.entries[name]; !ok {
+		s.entries[name] = int64(len(data))
+		s.bytes += int64(len(data))
+	}
+	s.mu.Unlock()
+	return payload, true
+}
+
+// quarantine moves a failed blob aside, freeing its name for a clean
+// republish while keeping the bytes for autopsy. If even the rename
+// fails the blob is removed outright — a corrupt blob must never be
+// loadable again.
+func (s *Store) quarantine(name string) {
+	s.mu.Lock()
+	s.quarSeq++
+	seq := s.quarSeq
+	size, known := s.entries[name]
+	if known {
+		delete(s.entries, name)
+		s.bytes -= size
+	}
+	s.mu.Unlock()
+	src := filepath.Join(s.blobDir(), name)
+	dst := filepath.Join(s.quarDir(), fmt.Sprintf("%s.%d", name, seq))
+	if err := s.fsys.Rename(src, dst); err != nil {
+		s.fsys.Remove(src)
+	}
+}
+
+// Put publishes payload under k, first-insert-wins across goroutines
+// and processes. The publish is atomic (exclusive temp file under a
+// per-key lock, write, fsync, rename, directory fsync): a crash at any
+// point leaves either no blob or the whole blob. Put never returns an
+// error; any failure is counted and the caller's in-memory entry keeps
+// serving.
+func (s *Store) Put(k Key, payload []byte) {
+	name := k.name()
+	blobPath := filepath.Join(s.blobDir(), name)
+	if _, err := s.fsys.Stat(blobPath); err == nil {
+		s.mu.Lock()
+		s.stats.PutSkipped++
+		s.mu.Unlock()
+		return
+	}
+	lockPath := filepath.Join(s.tmpDir(), name+".lock")
+	if !s.acquireLock(lockPath) {
+		s.mu.Lock()
+		s.stats.LockBusy++
+		s.mu.Unlock()
+		return
+	}
+	defer s.fsys.Remove(lockPath)
+	if !s.writeBlob(name, blobPath, encodeBlob(k, payload)) {
+		return
+	}
+	size := int64(blobOverhead + len(k.raw) + len(payload))
+	s.appendIndex(indexEntry{kind: k.kind, d1: k.d1, d2: k.d2, size: uint64(size)})
+	s.mu.Lock()
+	s.stats.Puts++
+	if _, ok := s.entries[name]; !ok {
+		s.entries[name] = size
+		s.bytes += size
+	}
+	s.mu.Unlock()
+}
+
+// acquireLock claims the per-key publish lock with an exclusive create,
+// breaking locks older than the stale age (a crashed holder). Returns
+// false when a live publisher holds it.
+func (s *Store) acquireLock(path string) bool {
+	if f, err := s.fsys.Create(path, true); err == nil {
+		f.Close()
+		return true
+	}
+	fi, err := s.fsys.Stat(path)
+	if err != nil || time.Since(fi.ModTime()) < s.lockStale {
+		return false
+	}
+	s.fsys.Remove(path)
+	f, err := s.fsys.Create(path, true)
+	if err != nil {
+		return false
+	}
+	f.Close()
+	return true
+}
+
+// writeBlob performs the atomic publish of an encoded blob. Any failure
+// counts Degraded, removes the temp file best-effort and reports false.
+// The temp name is unique per writer (pid + handle sequence), so even a
+// broken-lock takeover racing a slow original publisher renames only its
+// own fully-synced file — blobs/ never receives a partial blob.
+func (s *Store) writeBlob(name, blobPath string, blob []byte) bool {
+	s.mu.Lock()
+	s.quarSeq++
+	seq := s.quarSeq
+	s.mu.Unlock()
+	tmpPath := filepath.Join(s.tmpDir(), fmt.Sprintf("%s.%d.%d.tmp", name, os.Getpid(), seq))
+	degrade := func() bool {
+		s.fsys.Remove(tmpPath)
+		s.mu.Lock()
+		s.stats.Degraded++
+		s.mu.Unlock()
+		return false
+	}
+	f, err := s.fsys.Create(tmpPath, true)
+	if err != nil {
+		return degrade()
+	}
+	_, werr := f.Write(blob)
+	serr := f.Sync()
+	cerr := f.Close()
+	if werr != nil || serr != nil || cerr != nil {
+		return degrade()
+	}
+	if err := s.fsys.Rename(tmpPath, blobPath); err != nil {
+		return degrade()
+	}
+	// The blob is live from here; a failed directory fsync only risks
+	// losing it to a power cut, which the next cold process rebuilds.
+	if err := s.fsys.SyncDir(s.blobDir()); err != nil {
+		s.mu.Lock()
+		s.stats.Degraded++
+		s.mu.Unlock()
+	}
+	return true
+}
+
+// appendIndex appends one record to the index accelerator, best-effort:
+// a torn or failed append is repaired by the next Open's reconcile.
+func (s *Store) appendIndex(e indexEntry) {
+	f, err := s.fsys.Append(s.indexPath())
+	if err != nil {
+		return
+	}
+	f.Write(encodeIndexRecord(e))
+	f.Close()
+}

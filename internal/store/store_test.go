@@ -1,0 +1,343 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func testKey(kind Kind, i int) Key {
+	var w Writer
+	w.U32(uint32(i))
+	w.U64(0xdeadbeef + uint64(i))
+	return NewKey(kind, w.Bytes())
+}
+
+func testPayload(i int) []byte {
+	p := make([]byte, 64+i%257)
+	for j := range p {
+		p[j] = byte(i*131 + j*29)
+	}
+	return p
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 32; i++ {
+		k := testKey(KindConstMul, i)
+		if _, ok := s.Get(k); ok {
+			t.Fatalf("key %d: unexpected hit before publish", i)
+		}
+		s.Put(k, testPayload(i))
+	}
+	for i := 0; i < 32; i++ {
+		got, ok := s.Get(testKey(KindConstMul, i))
+		if !ok {
+			t.Fatalf("key %d: miss after publish", i)
+		}
+		if !bytes.Equal(got, testPayload(i)) {
+			t.Fatalf("key %d: payload mismatch", i)
+		}
+	}
+	st := s.Stats()
+	if st.Puts != 32 || st.Hits != 32 || st.Misses != 32 || st.Corrupt != 0 || st.Degraded != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if st.Entries != 32 || st.Bytes == 0 {
+		t.Fatalf("entries: %+v", st)
+	}
+}
+
+// TestStoreKindAndKeyPartition checks that equal key bytes under
+// different kinds, and different key bytes under one kind, never alias.
+func TestStoreKindAndKeyPartition(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := []byte{1, 2, 3, 4}
+	a := NewKey(KindConstMul, raw)
+	b := NewKey(KindSquare, raw)
+	s.Put(a, []byte("adder"))
+	if _, ok := s.Get(b); ok {
+		t.Fatal("kind aliasing: square key hit constmul blob")
+	}
+	s.Put(b, []byte("square"))
+	ga, _ := s.Get(a)
+	gb, _ := s.Get(b)
+	if string(ga) != "adder" || string(gb) != "square" {
+		t.Fatalf("payload mixup: %q %q", ga, gb)
+	}
+}
+
+// TestStoreReopen checks a second handle (and by extension a second
+// process) sees published blobs, and that first-insert-wins across
+// handles.
+func TestStoreReopen(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey(KindChar, 7)
+	s1.Put(k, testPayload(7))
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := s2.Stats(); st.Entries != 1 {
+		t.Fatalf("reopen did not see the blob: %+v", st)
+	}
+	got, ok := s2.Get(k)
+	if !ok || !bytes.Equal(got, testPayload(7)) {
+		t.Fatal("reopen Get mismatch")
+	}
+	s2.Put(k, testPayload(7))
+	if st := s2.Stats(); st.PutSkipped != 1 || st.Puts != 0 {
+		t.Fatalf("first-insert-wins violated: %+v", st)
+	}
+
+	// A blob published by s1 after s2 opened still serves via s2 (the
+	// probe goes to the filesystem, not the open-time snapshot).
+	k2 := testKey(KindChar, 8)
+	s1.Put(k2, testPayload(8))
+	if _, ok := s2.Get(k2); !ok {
+		t.Fatal("cross-handle publish not visible")
+	}
+}
+
+// TestStoreIndexRecovery deletes and truncates the index and checks Open
+// rebuilds it from the blobs scan.
+func TestStoreIndexRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		s.Put(testKey(KindProj, i), testPayload(i))
+	}
+
+	// Torn index tail: append garbage, then half a record.
+	idx := filepath.Join(dir, "index")
+	data, err := os.ReadFile(idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(idx, append(data[:len(data)-indexRecSize/2], 0xff), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := s2.Stats(); st.Entries != 8 || st.Recovered == 0 {
+		t.Fatalf("torn-index recovery: %+v", st)
+	}
+
+	// Index gone entirely.
+	if err := os.Remove(idx); err != nil {
+		t.Fatal(err)
+	}
+	s3, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := s3.Stats(); st.Entries != 8 || st.Recovered != 8 {
+		t.Fatalf("index-less recovery: %+v", st)
+	}
+	for i := 0; i < 8; i++ {
+		got, ok := s3.Get(testKey(KindProj, i))
+		if !ok || !bytes.Equal(got, testPayload(i)) {
+			t.Fatalf("key %d lost across index recovery", i)
+		}
+	}
+}
+
+// TestStoreCorruptQuarantine flips every byte position of a small blob
+// in turn and checks each mutation is detected, quarantined, missed —
+// and that a republish then serves clean bytes again.
+func TestStoreCorruptQuarantine(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey(KindSquare, 3)
+	pay := testPayload(3)
+	s.Put(k, pay)
+	name := k.name()
+	path := filepath.Join(s.BlobDir(), name)
+	clean, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pos := 0; pos < len(clean); pos++ {
+		mut := append([]byte(nil), clean...)
+		mut[pos] ^= 0x40
+		if err := os.WriteFile(path, mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if got, ok := s.Get(k); ok {
+			t.Fatalf("flip at %d: served corrupt payload %x", pos, got)
+		}
+		if _, err := os.Stat(path); !os.IsNotExist(err) {
+			t.Fatalf("flip at %d: corrupt blob not quarantined", pos)
+		}
+		// Rebuild-and-republish path: the name is free again.
+		s.Put(k, pay)
+		got, ok := s.Get(k)
+		if !ok || !bytes.Equal(got, pay) {
+			t.Fatalf("flip at %d: republish after quarantine failed", pos)
+		}
+	}
+	st := s.Stats()
+	if st.Corrupt != int64(len(clean)) {
+		t.Fatalf("corrupt count %d, want %d", st.Corrupt, len(clean))
+	}
+	if ents, err := os.ReadDir(filepath.Join(dir, "quarantine")); err != nil || len(ents) != len(clean) {
+		t.Fatalf("quarantine dir: %v entries, err %v", len(ents), err)
+	}
+}
+
+// TestStoreTruncation checks every truncation length of a blob is
+// rejected (never a panic, never a false accept).
+func TestStoreTruncation(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey(KindChar, 11)
+	s.Put(k, testPayload(11))
+	path := filepath.Join(s.BlobDir(), k.name())
+	clean, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < len(clean); n++ {
+		if err := os.WriteFile(path, clean[:n], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := s.Get(k); ok {
+			t.Fatalf("truncation to %d bytes accepted", n)
+		}
+		if err := os.WriteFile(path, clean, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got, ok := s.Get(k); !ok || !bytes.Equal(got, testPayload(11)) {
+		t.Fatal("clean blob no longer serves")
+	}
+}
+
+// TestStoreLockBusy checks a held publish lock skips the publish and a
+// stale one is broken.
+func TestStoreLockBusy(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenConfig(dir, Config{LockStale: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey(KindProj, 99)
+	lock := filepath.Join(dir, "tmp", k.name()+".lock")
+	if err := os.WriteFile(lock, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s.Put(k, testPayload(99))
+	if st := s.Stats(); st.LockBusy != 1 || st.Puts != 0 {
+		t.Fatalf("live lock not respected: %+v", st)
+	}
+	// Backdate the lock past the stale age: the next publish takes over.
+	old := time.Now().Add(-2 * time.Hour)
+	if err := os.Chtimes(lock, old, old); err != nil {
+		t.Fatal(err)
+	}
+	s.Put(k, testPayload(99))
+	if st := s.Stats(); st.Puts != 1 {
+		t.Fatalf("stale lock not broken: %+v", st)
+	}
+	if _, ok := s.Get(k); !ok {
+		t.Fatal("blob missing after stale-lock takeover")
+	}
+}
+
+// TestStoreConcurrent hammers one root from many goroutines over two
+// handles (the in-process analogue of racing cold processes): every Get
+// must return either nothing or the exact payload, and exactly one blob
+// per key must exist afterwards.
+func TestStoreConcurrent(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := OpenConfig(dir, Config{LockStale: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := OpenConfig(dir, Config{LockStale: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const keys = 24
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			s := s1
+			if g%2 == 1 {
+				s = s2
+			}
+			for i := 0; i < keys; i++ {
+				j := (i*7 + g*5) % keys
+				k := testKey(KindConstMul, j)
+				if got, ok := s.Get(k); ok && !bytes.Equal(got, testPayload(j)) {
+					t.Errorf("g%d key %d: wrong payload", g, j)
+					return
+				}
+				s.Put(k, testPayload(j))
+				if got, ok := s.Get(k); ok && !bytes.Equal(got, testPayload(j)) {
+					t.Errorf("g%d key %d: wrong payload after put", g, j)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	ents, err := os.ReadDir(filepath.Join(dir, "blobs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != keys {
+		t.Fatalf("%d blobs for %d keys", len(ents), keys)
+	}
+	for i := 0; i < keys; i++ {
+		got, ok := s1.Get(testKey(KindConstMul, i))
+		if !ok || !bytes.Equal(got, testPayload(i)) {
+			t.Fatalf("key %d: bad final state", i)
+		}
+	}
+}
+
+// TestBlobNameRoundTrip checks the file name encodes the index fields.
+func TestBlobNameRoundTrip(t *testing.T) {
+	for i := 0; i < 50; i++ {
+		k := testKey(Kind(1+i%4), i)
+		kind, d1, d2, ok := parseBlobName(k.name())
+		if !ok || kind != k.kind || d1 != k.d1 || d2 != k.d2 {
+			t.Fatalf("name %q did not round-trip", k.name())
+		}
+	}
+	for _, bad := range []string{"", "01-", "zz-00000000000000000000000000000000", "01_0", k0pad()} {
+		if _, _, _, ok := parseBlobName(bad); ok {
+			t.Fatalf("parsed invalid name %q", bad)
+		}
+	}
+}
+
+func k0pad() string { return fmt.Sprintf("01-%033x", 0) }
